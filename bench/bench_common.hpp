@@ -1,0 +1,75 @@
+// Shared helpers for the per-exhibit benchmark binaries (DESIGN.md §4).
+//
+// Every bench scales the paper's experiment down to container size by
+// default and prints which knobs restore paper scale:
+//   BDHTM_BENCH_MS        per-cell measurement time   (default 300)
+//   BDHTM_THREADS         comma list of thread counts (default "1,2,4")
+//   BDHTM_UNIVERSE_BITS   key-universe log2           (bench-specific)
+//   BDHTM_NVM_LATENCY     0 disables the latency model (default on)
+//
+// The NVM latency model reproduces Optane's cost asymmetries (paper §1:
+// reads ~3x DRAM, writes ~10x with a third of the bandwidth; §4.1), so
+// who-wins/by-how-much shapes carry over even though the substrate is a
+// simulator (EXPERIMENTS.md discusses absolute-number caveats).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "nvm/device.hpp"
+
+namespace bdhtm::bench {
+
+inline std::uint64_t bench_ms() { return env_int("BDHTM_BENCH_MS", 300); }
+
+inline std::vector<int> thread_counts() {
+  const std::string s = env_str("BDHTM_THREADS", "1,2,4");
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    out.push_back(std::stoi(s.substr(pos, comma - pos)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+inline int universe_bits(int fallback) {
+  return static_cast<int>(env_int("BDHTM_UNIVERSE_BITS", fallback));
+}
+
+/// Optane-shaped latency model (relative costs, not absolute ns).
+inline nvm::DeviceConfig nvm_cfg(std::size_t capacity, bool eadr = false) {
+  nvm::DeviceConfig cfg;
+  cfg.capacity = capacity;
+  cfg.eadr = eadr;
+  if (env_int("BDHTM_NVM_LATENCY", 1) != 0) {
+    cfg.read_ns = 150;   // ~3x a DRAM access
+    cfg.write_ns = 60;   // store-side bandwidth pressure
+    cfg.flush_ns = 500;  // clwb reaching the media (Optane: ~0.5-1 us)
+    cfg.fence_ns = 150;  // drain latency
+  }
+  return cfg;
+}
+
+inline void print_header(const char* title, const char* scale_note) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("%s\n", scale_note);
+  std::printf("(env: BDHTM_BENCH_MS, BDHTM_THREADS, BDHTM_UNIVERSE_BITS, "
+              "BDHTM_NVM_LATENCY)\n");
+  std::printf("================================================================\n");
+}
+
+inline void print_row_header(const char* label,
+                             const std::vector<int>& threads) {
+  std::printf("%-22s", label);
+  for (int t : threads) std::printf("  T=%-8d", t);
+  std::printf("\n");
+}
+
+}  // namespace bdhtm::bench

@@ -1,0 +1,73 @@
+// Fig. 1 — Throughput of transient (HTM-vEB) and buffered durable
+// (PHTM-vEB) van Emde Boas trees, write-heavy workload, uniform and
+// Zipfian(0.99) key distributions, across thread counts.
+//
+// Paper scale: universe 2^26, 40-core Optane testbed. Default here:
+// universe 2^20 on the simulated device (BDHTM_UNIVERSE_BITS=26 restores
+// the paper's universe). Expected shape: PHTM-vEB within ~2-3x of
+// HTM-vEB (the cost of NVM block management), both scaling with threads.
+#include <memory>
+
+#include "bench/bench_common.hpp"
+#include "epoch/epoch_sys.hpp"
+#include "veb/htm_veb.hpp"
+#include "veb/phtm_veb.hpp"
+#include "workload/workload.hpp"
+
+using namespace bdhtm;
+
+namespace {
+
+workload::Config base_cfg(int ubits, double theta, int threads) {
+  workload::Config cfg = workload::Config::write_heavy();
+  cfg.key_space = std::uint64_t{1} << ubits;
+  cfg.zipf_theta = theta;
+  cfg.threads = threads;
+  cfg.duration_ms = bench::bench_ms();
+  return cfg;
+}
+
+double run_htm_veb(int ubits, double theta, int threads) {
+  veb::HTMvEB tree(ubits);
+  auto cfg = base_cfg(ubits, theta, threads);
+  workload::prefill(tree, cfg);
+  return workload::run_workload(tree, cfg).mops();
+}
+
+double run_phtm_veb(int ubits, double theta, int threads) {
+  const std::size_t cap =
+      std::max<std::size_t>(512ull << 20, (std::size_t{1} << ubits) * 96);
+  nvm::Device dev(bench::nvm_cfg(cap));
+  alloc::PAllocator pa(dev);
+  epoch::EpochSys::Config ecfg;
+  ecfg.epoch_length_us = 50'000;  // the paper's 50 ms default
+  epoch::EpochSys es(pa, ecfg);
+  veb::PHTMvEB tree(es, ubits);
+  auto cfg = base_cfg(ubits, theta, threads);
+  workload::prefill(tree, cfg);
+  return workload::run_workload(tree, cfg).mops();
+}
+
+}  // namespace
+
+int main() {
+  const int ubits = bench::universe_bits(20);
+  const auto threads = bench::thread_counts();
+  bench::print_header(
+      "Fig. 1: HTM-vEB vs PHTM-vEB throughput (Mops/s), write-heavy",
+      "paper: universe 2^26, Zipf 0.99; scaled default universe 2^20");
+
+  for (const auto& [name, theta] :
+       {std::pair{"(a) uniform", 0.0}, std::pair{"(b) zipfian 0.99", 0.99}}) {
+    std::printf("\n%s\n", name);
+    bench::print_row_header("series", threads);
+    std::printf("%-22s", "HTM-vEB");
+    for (int t : threads) std::printf("  %-10.3f", run_htm_veb(ubits, theta, t));
+    std::printf("\n%-22s", "PHTM-vEB");
+    for (int t : threads) {
+      std::printf("  %-10.3f", run_phtm_veb(ubits, theta, t));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Fig. 2 — HTM commit and abort-cause rates (percent of transaction
+// attempts) for HTM-vEB and PHTM-vEB, uniform and Zipfian workloads,
+// across thread counts; plus the ABORTED_MEMTYPE anomaly study: the
+// simulated memtype abort probability is enabled at low thread counts
+// and the paper's non-transactional pre-walk mitigation (built into the
+// trees) brings the rate back down — the "red bars" of Fig. 2.
+//
+// Expected shape: no significant difference between the transient and
+// buffered-durable trees; conflict aborts grow with threads but stay
+// moderate (paper: <15% uniform, <35% Zipfian).
+#include <memory>
+
+#include "bench/bench_common.hpp"
+#include "epoch/epoch_sys.hpp"
+#include "htm/engine.hpp"
+#include "veb/htm_veb.hpp"
+#include "veb/phtm_veb.hpp"
+#include "workload/workload.hpp"
+
+using namespace bdhtm;
+
+namespace {
+
+void print_stats_row(const char* label) {
+  const auto s = htm::collect_stats();
+  const double att = static_cast<double>(s.attempts());
+  if (att == 0) return;
+  std::printf(
+      "%-12s commits %5.1f%%  conflict %5.1f%%  capacity %5.1f%%  "
+      "explicit %5.1f%%  memtype %5.1f%%  fallbacks %llu\n",
+      label, 100.0 * s.commits / att, 100.0 * s.aborts_conflict / att,
+      100.0 * s.aborts_capacity / att, 100.0 * s.aborts_explicit / att,
+      100.0 * s.aborts_memtype / att,
+      static_cast<unsigned long long>(s.fallback_acquisitions));
+}
+
+template <typename MakeTree>
+void run_panel(const char* panel, int ubits, double theta,
+               double memtype_prob, MakeTree&& make_tree) {
+  std::printf("\n%s\n", panel);
+  for (int t : bench::thread_counts()) {
+    htm::EngineConfig ecfg;
+    ecfg.memtype_abort_prob = t == 1 ? memtype_prob : 0.0;
+    htm::configure(ecfg);
+    htm::reset_stats();
+    auto guard = make_tree();  // pair{unique-ish owner, map&}
+    auto& tree = *guard;
+    workload::Config cfg = workload::Config::write_heavy();
+    cfg.key_space = std::uint64_t{1} << ubits;
+    cfg.zipf_theta = theta;
+    cfg.threads = t;
+    cfg.duration_ms = bench::bench_ms();
+    workload::prefill(tree, cfg);
+    htm::reset_stats();
+    workload::run_workload(tree, cfg);
+    char label[32];
+    std::snprintf(label, sizeof label, "T=%d", t);
+    print_stats_row(label);
+  }
+  htm::configure(htm::EngineConfig{});
+}
+
+struct PhtmBundle {
+  std::unique_ptr<nvm::Device> dev;
+  std::unique_ptr<alloc::PAllocator> pa;
+  std::unique_ptr<epoch::EpochSys> es;
+  std::unique_ptr<veb::PHTMvEB> tree;
+  veb::PHTMvEB& operator*() { return *tree; }
+};
+
+PhtmBundle make_phtm(int ubits) {
+  PhtmBundle b;
+  const std::size_t cap =
+      std::max<std::size_t>(512ull << 20, (std::size_t{1} << ubits) * 96);
+  b.dev = std::make_unique<nvm::Device>(bench::nvm_cfg(cap));
+  b.pa = std::make_unique<alloc::PAllocator>(*b.dev);
+  b.es = std::make_unique<epoch::EpochSys>(*b.pa);
+  b.tree = std::make_unique<veb::PHTMvEB>(*b.es, ubits);
+  return b;
+}
+
+struct HtmBundle {
+  std::unique_ptr<veb::HTMvEB> tree;
+  veb::HTMvEB& operator*() { return *tree; }
+};
+
+}  // namespace
+
+int main() {
+  const int ubits = bench::universe_bits(20);
+  // The anomaly fired on ~half of low-thread-count transactions on the
+  // paper's machine; the simulation knob reproduces that rate, and the
+  // trees' pre-walk mitigation (prewalk_hint) is what keeps the final
+  // memtype share low in the rows below.
+  const double memtype = 0.5;
+  bench::print_header(
+      "Fig. 2: HTM commit/abort rates, HTM-vEB vs PHTM-vEB",
+      "percentages of transaction attempts; memtype anomaly simulated at "
+      "T=1 with the paper's pre-walk mitigation active");
+
+  for (const auto& [dist, theta] :
+       {std::pair{"uniform", 0.0}, std::pair{"zipfian 0.99", 0.99}}) {
+    char panel[96];
+    std::snprintf(panel, sizeof panel, "HTM-vEB, %s", dist);
+    run_panel(panel, ubits, theta, memtype, [&] {
+      return HtmBundle{std::make_unique<veb::HTMvEB>(ubits)};
+    });
+    std::snprintf(panel, sizeof panel, "PHTM-vEB, %s", dist);
+    run_panel(panel, ubits, theta, memtype, [&] { return make_phtm(ubits); });
+  }
+  return 0;
+}

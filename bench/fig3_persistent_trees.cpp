@@ -1,0 +1,104 @@
+// Fig. 3 — Throughput of persistent trees: PHTM-vEB vs LB+Tree vs
+// OCC-ABTree vs Elim-ABTree, four panels (uniform/Zipfian x write-/
+// read-heavy), across thread counts.
+//
+// Expected shape (paper): PHTM-vEB wins — 1.2-2.8x over LB+Tree and
+// 1.6-4x over the (a,b)-trees — because its index is doubly-logarithmic
+// AND entirely in DRAM, while the fully persistent trees pay NVM reads
+// on every level and persists on every update.
+#include <memory>
+
+#include "bench/bench_common.hpp"
+#include "epoch/epoch_sys.hpp"
+#include "trees/abtree.hpp"
+#include "trees/lbtree.hpp"
+#include "veb/phtm_veb.hpp"
+#include "workload/workload.hpp"
+
+using namespace bdhtm;
+
+namespace {
+
+workload::Config panel_cfg(int ubits, double theta, bool write_heavy,
+                           int threads) {
+  workload::Config cfg = write_heavy ? workload::Config::write_heavy()
+                                     : workload::Config::read_heavy();
+  cfg.key_space = std::uint64_t{1} << ubits;
+  cfg.zipf_theta = theta;
+  cfg.threads = threads;
+  cfg.duration_ms = bench::bench_ms();
+  return cfg;
+}
+
+std::size_t device_cap(int ubits) {
+  return std::max<std::size_t>(768ull << 20, (std::size_t{1} << ubits) * 128);
+}
+
+double run_phtm(int ubits, const workload::Config& cfg) {
+  nvm::Device dev(bench::nvm_cfg(device_cap(ubits)));
+  alloc::PAllocator pa(dev);
+  epoch::EpochSys es(pa);
+  veb::PHTMvEB tree(es, ubits);
+  workload::prefill(tree, cfg);
+  return workload::run_workload(tree, cfg).mops();
+}
+
+template <typename Tree>
+double run_nvm_tree(int ubits, const workload::Config& cfg) {
+  nvm::Device dev(bench::nvm_cfg(device_cap(ubits)));
+  alloc::PAllocator pa(dev);
+  Tree tree(dev, pa);
+  workload::prefill(tree, cfg);
+  return workload::run_workload(tree, cfg).mops();
+}
+
+}  // namespace
+
+int main() {
+  const int ubits = bench::universe_bits(18);
+  const auto threads = bench::thread_counts();
+  bench::print_header(
+      "Fig. 3: persistent tree throughput (Mops/s)",
+      "paper: universe 2^26, 50%% prefill; scaled default universe 2^18");
+
+  struct Panel {
+    const char* name;
+    double theta;
+    bool write_heavy;
+  };
+  const Panel panels[] = {
+      {"(a) uniform, write-heavy", 0.0, true},
+      {"(b) uniform, read-heavy", 0.0, false},
+      {"(c) zipfian 0.99, write-heavy", 0.99, true},
+      {"(d) zipfian 0.99, read-heavy", 0.99, false},
+  };
+  for (const Panel& p : panels) {
+    std::printf("\n%s\n", p.name);
+    bench::print_row_header("series", threads);
+    std::printf("%-22s", "PHTM-vEB");
+    for (int t : threads) {
+      std::printf("  %-10.3f",
+                  run_phtm(ubits, panel_cfg(ubits, p.theta, p.write_heavy, t)));
+    }
+    std::printf("\n%-22s", "LB+Tree");
+    for (int t : threads) {
+      std::printf("  %-10.3f",
+                  run_nvm_tree<trees::LBTree>(
+                      ubits, panel_cfg(ubits, p.theta, p.write_heavy, t)));
+    }
+    std::printf("\n%-22s", "OCC-ABTree");
+    for (int t : threads) {
+      std::printf("  %-10.3f",
+                  run_nvm_tree<trees::OCCABTree>(
+                      ubits, panel_cfg(ubits, p.theta, p.write_heavy, t)));
+    }
+    std::printf("\n%-22s", "Elim-ABTree");
+    for (int t : threads) {
+      std::printf("  %-10.3f",
+                  run_nvm_tree<trees::ElimABTree>(
+                      ubits, panel_cfg(ubits, p.theta, p.write_heavy, t)));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Fig. 5 — Throughput of the persistent lock-free skiplist family,
+// uniform workload with read:write = 2:8, across thread counts:
+//
+//   DL-Skiplist          Wang et al.: PMwCAS, all-NVM, strictly durable
+//   P-Skiplist-no-flush  DL minus persist instructions (not consistent)
+//   P-Skiplist-HTM-MCAS  + HTM-based MwCAS (not consistent)
+//   BDL-Skiplist         DRAM towers + epoch-buffered KV blocks (ours)
+//   T-Skiplist           transient: DRAM + volatile MwCAS (ceiling)
+//
+// Expected shape (paper): BDL ~3x DL; no-flush ~1.7x DL; HTM-MwCAS adds
+// ~10% over no-flush; T-Skiplist only ~20% above BDL.
+#include <memory>
+
+#include "bench/bench_common.hpp"
+#include "epoch/epoch_sys.hpp"
+#include "skiplist/bdl_skiplist.hpp"
+#include "skiplist/skiplists.hpp"
+#include "workload/workload.hpp"
+
+using namespace bdhtm;
+
+namespace {
+
+workload::Config cfg_for(int threads, std::uint64_t keys) {
+  workload::Config cfg;
+  cfg.key_space = keys;
+  cfg.zipf_theta = 0.0;
+  cfg.read_pct = 20;  // read:write = 2:8
+  cfg.insert_pct = 40;
+  cfg.remove_pct = 40;
+  cfg.threads = threads;
+  cfg.duration_ms = bench::bench_ms();
+  return cfg;
+}
+
+std::size_t device_cap(std::uint64_t keys) {
+  return std::max<std::size_t>(768ull << 20, keys * 512);
+}
+
+template <typename Make>
+double run_one(std::uint64_t keys, int threads, Make&& make) {
+  auto bundle = make();
+  auto& sl = *bundle;
+  auto cfg = cfg_for(threads, keys);
+  workload::prefill(sl, cfg);
+  return workload::run_workload(sl, cfg).mops();
+}
+
+struct TBundle {
+  std::unique_ptr<skiplist::TSkiplist> sl;
+  skiplist::TSkiplist& operator*() { return *sl; }
+};
+struct NvmBundle {
+  std::unique_ptr<nvm::Device> dev;
+  std::unique_ptr<alloc::PAllocator> pa;
+  std::unique_ptr<skiplist::PSkiplistNoFlush> nf;
+  std::unique_ptr<skiplist::PSkiplistHTMMwCAS> hm;
+  std::unique_ptr<skiplist::DLSkiplist> dl;
+  std::unique_ptr<epoch::EpochSys> es;
+  std::unique_ptr<skiplist::BDLSkiplist> bdl;
+  template <typename T>
+  struct Ref {
+    T& t;
+    T& operator*() { return t; }
+  };
+};
+
+}  // namespace
+
+int main() {
+  const std::uint64_t keys = std::uint64_t{1}
+                             << bench::universe_bits(17);
+  const auto threads = bench::thread_counts();
+  bench::print_header(
+      "Fig. 5: skiplist-family throughput (Mops/s), uniform, r:w = 2:8",
+      "paper: 1M keys; scaled default 2^17 keys (BDHTM_UNIVERSE_BITS)");
+  bench::print_row_header("series", threads);
+
+  std::printf("%-22s", "DL-Skiplist");
+  for (int t : threads) {
+    std::printf("  %-10.3f", run_one(keys, t, [&] {
+      auto b = std::make_unique<NvmBundle>();
+      b->dev = std::make_unique<nvm::Device>(bench::nvm_cfg(device_cap(keys)));
+      b->pa = std::make_unique<alloc::PAllocator>(*b->dev);
+      b->dl = std::make_unique<skiplist::DLSkiplist>(*b->dev, *b->pa);
+      struct H {
+        std::unique_ptr<NvmBundle> b;
+        skiplist::DLSkiplist& operator*() { return *b->dl; }
+      };
+      return H{std::move(b)};
+    }));
+    std::fflush(stdout);
+  }
+  std::printf("\n%-22s", "P-Skiplist-no-flush");
+  for (int t : threads) {
+    std::printf("  %-10.3f", run_one(keys, t, [&] {
+      auto b = std::make_unique<NvmBundle>();
+      b->dev = std::make_unique<nvm::Device>(bench::nvm_cfg(device_cap(keys)));
+      b->pa = std::make_unique<alloc::PAllocator>(*b->dev);
+      b->nf = std::make_unique<skiplist::PSkiplistNoFlush>(*b->pa);
+      struct H {
+        std::unique_ptr<NvmBundle> b;
+        skiplist::PSkiplistNoFlush& operator*() { return *b->nf; }
+      };
+      return H{std::move(b)};
+    }));
+    std::fflush(stdout);
+  }
+  std::printf("\n%-22s", "P-Skiplist-HTM-MCAS");
+  for (int t : threads) {
+    std::printf("  %-10.3f", run_one(keys, t, [&] {
+      auto b = std::make_unique<NvmBundle>();
+      b->dev = std::make_unique<nvm::Device>(bench::nvm_cfg(device_cap(keys)));
+      b->pa = std::make_unique<alloc::PAllocator>(*b->dev);
+      b->hm = std::make_unique<skiplist::PSkiplistHTMMwCAS>(*b->pa);
+      struct H {
+        std::unique_ptr<NvmBundle> b;
+        skiplist::PSkiplistHTMMwCAS& operator*() { return *b->hm; }
+      };
+      return H{std::move(b)};
+    }));
+    std::fflush(stdout);
+  }
+  std::printf("\n%-22s", "BDL-Skiplist");
+  for (int t : threads) {
+    std::printf("  %-10.3f", run_one(keys, t, [&] {
+      auto b = std::make_unique<NvmBundle>();
+      b->dev = std::make_unique<nvm::Device>(bench::nvm_cfg(device_cap(keys)));
+      b->pa = std::make_unique<alloc::PAllocator>(*b->dev);
+      epoch::EpochSys::Config ecfg;
+      ecfg.epoch_length_us = 50'000;
+      b->es = std::make_unique<epoch::EpochSys>(*b->pa, ecfg);
+      b->bdl = std::make_unique<skiplist::BDLSkiplist>(*b->es);
+      struct H {
+        std::unique_ptr<NvmBundle> b;
+        skiplist::BDLSkiplist& operator*() { return *b->bdl; }
+      };
+      return H{std::move(b)};
+    }));
+    std::fflush(stdout);
+  }
+  std::printf("\n%-22s", "T-Skiplist");
+  for (int t : threads) {
+    std::printf("  %-10.3f", run_one(keys, t, [&] {
+      return TBundle{std::make_unique<skiplist::TSkiplist>()};
+    }));
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return 0;
+}

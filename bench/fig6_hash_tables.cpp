@@ -1,0 +1,128 @@
+// Fig. 6 — Throughput of persistent hash tables: BD-Spash vs Spash (on
+// an eADR device) vs CCEH vs Plush, four panels (uniform/Zipfian x
+// write-/read-heavy), across thread counts.
+//
+// Expected shape (paper): BD-Spash approaches Spash (matching it on the
+// write-heavy Zipfian panel) because the epoch system moves persistence
+// off the critical path; CCEH and Plush trail due to strict-DL persists,
+// with CCEH ahead of Plush on write-heavy panels and Plush suffering
+// log contention under skew.
+#include <memory>
+
+#include "bench/bench_common.hpp"
+#include "epoch/epoch_sys.hpp"
+#include "hash/bd_spash.hpp"
+#include "hash/cceh.hpp"
+#include "hash/plush.hpp"
+#include "hash/spash.hpp"
+#include "workload/workload.hpp"
+
+using namespace bdhtm;
+
+namespace {
+
+workload::Config panel_cfg(std::uint64_t keys, double theta,
+                           bool write_heavy, int threads) {
+  workload::Config cfg = write_heavy ? workload::Config::write_heavy()
+                                     : workload::Config::read_heavy();
+  cfg.key_space = keys;
+  cfg.zipf_theta = theta;
+  cfg.threads = threads;
+  cfg.duration_ms = bench::bench_ms();
+  return cfg;
+}
+
+std::size_t device_cap(std::uint64_t keys) {
+  return std::max<std::size_t>(768ull << 20, keys * 384);
+}
+
+double run_spash(std::uint64_t keys, const workload::Config& cfg) {
+  nvm::Device dev(bench::nvm_cfg(device_cap(keys), /*eadr=*/true));
+  alloc::PAllocator pa(dev);
+  hash::Spash m(pa);
+  workload::prefill(m, cfg);
+  return workload::run_workload(m, cfg).mops();
+}
+
+double run_bdspash(std::uint64_t keys, const workload::Config& cfg) {
+  nvm::Device dev(bench::nvm_cfg(device_cap(keys)));
+  alloc::PAllocator pa(dev);
+  epoch::EpochSys::Config ecfg;
+  ecfg.epoch_length_us = 50'000;
+  epoch::EpochSys es(pa, ecfg);
+  hash::BDSpash m(es);
+  workload::prefill(m, cfg);
+  return workload::run_workload(m, cfg).mops();
+}
+
+double run_cceh(std::uint64_t keys, const workload::Config& cfg) {
+  nvm::Device dev(bench::nvm_cfg(device_cap(keys)));
+  alloc::PAllocator pa(dev);
+  hash::CCEH m(dev, pa);
+  workload::prefill(m, cfg);
+  return workload::run_workload(m, cfg).mops();
+}
+
+double run_plush(std::uint64_t keys, const workload::Config& cfg) {
+  nvm::Device dev(bench::nvm_cfg(device_cap(keys)));
+  alloc::PAllocator pa(dev);
+  // Size levels so the deepest cannot overflow at this key count.
+  hash::Plush m(dev, pa, hash::Plush::Mode::kFormat,
+                /*root_buckets_log2=*/8, /*levels=*/5);
+  workload::prefill(m, cfg);
+  return workload::run_workload(m, cfg).mops();
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t keys = std::uint64_t{1}
+                             << bench::universe_bits(17);
+  const auto threads = bench::thread_counts();
+  bench::print_header(
+      "Fig. 6: persistent hash-table throughput (Mops/s)",
+      "paper: YCSB, Optane; scaled default 2^17 keys; Spash runs on a "
+      "simulated eADR (persistent-cache) device");
+
+  struct Panel {
+    const char* name;
+    double theta;
+    bool write_heavy;
+  };
+  const Panel panels[] = {
+      {"(a) uniform, write-heavy", 0.0, true},
+      {"(b) uniform, read-heavy", 0.0, false},
+      {"(c) zipfian 0.99, write-heavy", 0.99, true},
+      {"(d) zipfian 0.99, read-heavy", 0.99, false},
+  };
+  for (const Panel& p : panels) {
+    std::printf("\n%s\n", p.name);
+    bench::print_row_header("series", threads);
+    std::printf("%-22s", "Spash (eADR)");
+    for (int t : threads) {
+      std::printf("  %-10.3f",
+                  run_spash(keys, panel_cfg(keys, p.theta, p.write_heavy, t)));
+      std::fflush(stdout);
+    }
+    std::printf("\n%-22s", "BD-Spash");
+    for (int t : threads) {
+      std::printf("  %-10.3f", run_bdspash(keys, panel_cfg(keys, p.theta,
+                                                           p.write_heavy, t)));
+      std::fflush(stdout);
+    }
+    std::printf("\n%-22s", "CCEH");
+    for (int t : threads) {
+      std::printf("  %-10.3f",
+                  run_cceh(keys, panel_cfg(keys, p.theta, p.write_heavy, t)));
+      std::fflush(stdout);
+    }
+    std::printf("\n%-22s", "Plush");
+    for (int t : threads) {
+      std::printf("  %-10.3f",
+                  run_plush(keys, panel_cfg(keys, p.theta, p.write_heavy, t)));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

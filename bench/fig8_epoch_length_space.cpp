@@ -1,0 +1,78 @@
+// Fig. 8 — NVM space consumption of PHTM-vEB as a function of epoch
+// length, uniform vs Zipfian workloads, single thread, 50/50
+// insert/remove.
+//
+// Expected shape (paper): uniform workloads consume more NVM than
+// Zipfian (more out-of-place updates across distinct keys); longer
+// epochs consume more (stale copies and pending deletions are retained
+// longer), with only modest variation outside the extreme lengths.
+#include <memory>
+
+#include "bench/bench_common.hpp"
+#include "epoch/epoch_sys.hpp"
+#include "veb/phtm_veb.hpp"
+#include "workload/workload.hpp"
+
+using namespace bdhtm;
+
+namespace {
+
+double run_cell_mib(int ubits, double theta, std::uint64_t epoch_us) {
+  const std::size_t cap =
+      std::max<std::size_t>(768ull << 20, (std::size_t{1} << ubits) * 256);
+  nvm::Device dev(bench::nvm_cfg(cap));
+  alloc::PAllocator pa(dev);
+  epoch::EpochSys::Config ecfg;
+  ecfg.epoch_length_us = epoch_us;
+  epoch::EpochSys es(pa, ecfg);
+  veb::PHTMvEB tree(es, ubits);
+
+  workload::Config cfg;
+  cfg.key_space = std::uint64_t{1} << ubits;
+  cfg.zipf_theta = theta;
+  cfg.read_pct = 0;  // 50% insert / 50% remove (paper)
+  cfg.insert_pct = 50;
+  cfg.remove_pct = 50;
+  cfg.threads = 1;
+  cfg.duration_ms = bench::bench_ms();
+  workload::prefill(tree, cfg);
+  workload::run_workload(tree, cfg);
+  // Peak-ish footprint during the run: measure before settling.
+  return tree.nvm_bytes() / (1024.0 * 1024.0);
+}
+
+}  // namespace
+
+int main() {
+  const int ubits = bench::universe_bits(18);  // paper: 2^24 key space
+  bench::print_header(
+      "Fig. 8: PHTM-vEB NVM space (MiB) vs epoch length, 1 thread, "
+      "50/50 insert/remove",
+      "paper: key space 2^24, epoch 1us..10s; scaled default 2^18, "
+      "sweep 10us..1s");
+
+  const std::uint64_t epochs_us[] = {10, 100, 1'000, 10'000, 100'000,
+                                     1'000'000};
+  std::printf("%-16s", "epoch length");
+  for (auto e : epochs_us) {
+    if (e < 1000) {
+      std::printf(" %7lluus", static_cast<unsigned long long>(e));
+    } else if (e < 1'000'000) {
+      std::printf(" %7llums", static_cast<unsigned long long>(e / 1000));
+    } else {
+      std::printf(" %8llus", static_cast<unsigned long long>(e / 1'000'000));
+    }
+  }
+  std::printf("\n");
+
+  for (const auto& [name, theta] :
+       {std::pair{"uniform", 0.0}, std::pair{"zipf 0.99", 0.99}}) {
+    std::printf("%-16s", name);
+    for (auto e : epochs_us) {
+      std::printf(" %9.1f", run_cell_mib(ubits, theta, e));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// §5.2 — Recovery study: time to scan the NVM heap and rebuild the DRAM
+// index after a crash, for PHTM-vEB, BDL-Skiplist and BD-Spash, with 1
+// and with several threads.
+//
+// Expected shape (paper, 10M records / 500 MiB): heap scan is fast
+// (sequential bandwidth); rebuild dominates and parallelizes well; the
+// skiplist rebuild is the slowest (log-depth reinsertions), the hash
+// table the fastest.
+#include <memory>
+
+#include "bench/bench_common.hpp"
+#include "common/spin.hpp"
+#include "epoch/epoch_sys.hpp"
+#include "hash/bd_spash.hpp"
+#include "skiplist/bdl_skiplist.hpp"
+#include "veb/phtm_veb.hpp"
+#include "workload/workload.hpp"
+
+using namespace bdhtm;
+
+namespace {
+
+struct World {
+  std::unique_ptr<nvm::Device> dev;
+  std::unique_ptr<alloc::PAllocator> pa;
+  std::unique_ptr<epoch::EpochSys> es;
+};
+
+World fresh_world(std::size_t cap) {
+  World w;
+  // Recovery measures scan+rebuild cost; disable the per-access latency
+  // model so numbers reflect algorithmic work (enable for media-bound
+  // estimates).
+  nvm::DeviceConfig cfg;
+  cfg.capacity = cap;
+  w.dev = std::make_unique<nvm::Device>(cfg);
+  w.pa = std::make_unique<alloc::PAllocator>(*w.dev);
+  epoch::EpochSys::Config ecfg;
+  ecfg.epoch_length_us = 10'000;
+  w.es = std::make_unique<epoch::EpochSys>(*w.pa, ecfg);
+  return w;
+}
+
+void reattach(World& w) {
+  w.es.reset();
+  w.dev->simulate_crash();
+  w.pa = std::make_unique<alloc::PAllocator>(*w.dev,
+                                             alloc::PAllocator::Mode::kAttach);
+  epoch::EpochSys::Config ecfg;
+  ecfg.start_advancer = false;
+  ecfg.attach = true;
+  w.es = std::make_unique<epoch::EpochSys>(*w.pa, ecfg);
+}
+
+template <typename MakeTree, typename Fill, typename Recover>
+void study(const char* name, std::size_t cap, MakeTree&& make, Fill&& fill,
+           Recover&& recover) {
+  for (int threads : {1, static_cast<int>(bench::thread_counts().back())}) {
+    World w = fresh_world(cap);
+    {
+      auto structure = make(*w.es);
+      fill(*structure);
+      w.es->persist_all();
+    }
+    reattach(w);
+    const std::uint64_t t0 = now_ns();
+    auto structure = make(*w.es);
+    const std::size_t n = recover(*structure, threads);
+    const std::uint64_t t1 = now_ns();
+    std::printf("%-14s threads=%-2d records=%-9zu recovery=%8.1f ms\n",
+                name, threads, n, (t1 - t0) / 1e6);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t records = env_int("BDHTM_RECOVERY_RECORDS", 400'000);
+  const int ubits = 64 - __builtin_clzll(records * 2 - 1);
+  const std::size_t cap =
+      std::max<std::size_t>(768ull << 20, records * 512);
+  bench::print_header(
+      "Sec. 5.2: post-crash recovery time (heap scan + index rebuild)",
+      "paper: 10M records / 500 MiB heap; scaled default 400k records "
+      "(BDHTM_RECOVERY_RECORDS)");
+
+  const auto fill_n = [&](auto& s) {
+    for (std::uint64_t i = 0; i < records; ++i) {
+      s.insert((i * 0x9e3779b97f4a7c15ULL) % (std::uint64_t{1} << ubits),
+               i);
+    }
+  };
+
+  study(
+      "PHTM-vEB", cap,
+      [&](epoch::EpochSys& es) {
+        return std::make_unique<veb::PHTMvEB>(es, ubits);
+      },
+      fill_n,
+      [](veb::PHTMvEB& t, int threads) { return t.recover(threads); });
+
+  study(
+      "BDL-Skiplist", cap,
+      [&](epoch::EpochSys& es) {
+        return std::make_unique<skiplist::BDLSkiplist>(es);
+      },
+      fill_n,
+      [](skiplist::BDLSkiplist& t, int threads) {
+        return t.recover(threads);
+      });
+
+  study(
+      "BD-Spash", cap,
+      [&](epoch::EpochSys& es) {
+        return std::make_unique<hash::BDSpash>(es);
+      },
+      fill_n,
+      [](hash::BDSpash& t, int threads) { return t.recover(threads); });
+
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Table 3 — Space consumption of the five search trees after prefilling
+// half the universe with uniformly distributed keys.
+//
+// Expected shape (paper, universe 2^26): HTM-vEB and PHTM-vEB share the
+// largest DRAM footprint (the vEB index); PHTM-vEB additionally carries
+// NVM (KV blocks plus buffered old copies, ~1.8x LB+Tree's leaf layer);
+// LB+Tree keeps a small DRAM inner tree; the (a,b)-trees use no DRAM at
+// all but comparable NVM.
+#include <memory>
+
+#include "bench/bench_common.hpp"
+#include "epoch/epoch_sys.hpp"
+#include "trees/abtree.hpp"
+#include "trees/lbtree.hpp"
+#include "veb/htm_veb.hpp"
+#include "veb/phtm_veb.hpp"
+#include "workload/workload.hpp"
+
+using namespace bdhtm;
+
+namespace {
+
+double mib(std::uint64_t bytes) { return bytes / (1024.0 * 1024.0); }
+
+std::size_t device_cap(int ubits) {
+  return std::max<std::size_t>(768ull << 20, (std::size_t{1} << ubits) * 160);
+}
+
+workload::Config fill_cfg(int ubits) {
+  workload::Config cfg;
+  cfg.key_space = std::uint64_t{1} << ubits;
+  cfg.prefill_frac = 0.5;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const int ubits = bench::universe_bits(20);
+  bench::print_header(
+      "Table 3: space consumption (MiB) after prefilling 50% of the "
+      "universe",
+      "paper: 2^25 keys in a 2^26 universe; scaled default universe 2^20");
+  std::printf("%-12s %12s %12s\n", "tree", "DRAM", "NVM");
+
+  {
+    veb::HTMvEB t(ubits);
+    workload::prefill(t, fill_cfg(ubits));
+    std::printf("%-12s %12.1f %12.1f\n", "HTM-vEB", mib(t.dram_bytes()), 0.0);
+  }
+  {
+    nvm::Device dev(bench::nvm_cfg(device_cap(ubits)));
+    alloc::PAllocator pa(dev);
+    epoch::EpochSys es(pa);
+    veb::PHTMvEB t(es, ubits);
+    workload::prefill(t, fill_cfg(ubits));
+    es.persist_all();  // settle pending reclamation before measuring
+    std::printf("%-12s %12.1f %12.1f\n", "PHTM-vEB", mib(t.dram_bytes()),
+                mib(t.nvm_bytes()));
+  }
+  {
+    nvm::Device dev(bench::nvm_cfg(device_cap(ubits)));
+    alloc::PAllocator pa(dev);
+    trees::LBTree t(dev, pa);
+    workload::prefill(t, fill_cfg(ubits));
+    std::printf("%-12s %12.1f %12.1f\n", "LB+Tree", mib(t.dram_bytes()),
+                mib(t.nvm_bytes()));
+  }
+  {
+    nvm::Device dev(bench::nvm_cfg(device_cap(ubits)));
+    alloc::PAllocator pa(dev);
+    trees::ElimABTree t(dev, pa);
+    workload::prefill(t, fill_cfg(ubits));
+    std::printf("%-12s %12.1f %12.1f\n", "Elim-Tree", 0.0,
+                mib(t.nvm_bytes()));
+  }
+  {
+    nvm::Device dev(bench::nvm_cfg(device_cap(ubits)));
+    alloc::PAllocator pa(dev);
+    trees::OCCABTree t(dev, pa);
+    workload::prefill(t, fill_cfg(ubits));
+    std::printf("%-12s %12.1f %12.1f\n", "OCC-Tree", 0.0,
+                mib(t.nvm_bytes()));
+  }
+  return 0;
+}

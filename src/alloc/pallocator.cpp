@@ -1,0 +1,255 @@
+#include "alloc/pallocator.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "htm/engine.hpp"
+
+namespace bdhtm::alloc {
+namespace {
+
+// Strides (header + payload), cache-line multiples: 64 B .. 64 KiB.
+constexpr std::size_t kStrides[PAllocator::kNumClasses] = {
+    64,   128,  256,   512,   1024,  2048,
+    4096, 8192, 16384, 32768, 65536};
+
+// Blocks handed from a class free list to a thread cache per refill.
+constexpr std::size_t kCacheRefill = 32;
+// Thread-cache high-water mark before spilling back to the class list.
+constexpr std::size_t kCacheSpill = 128;
+
+}  // namespace
+
+std::size_t PAllocator::class_for(std::size_t user_size) {
+  const std::size_t need = user_size + sizeof(BlockHeader);
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    if (need <= kStrides[c]) return c;
+  }
+  return kNumClasses;  // large
+}
+
+std::size_t PAllocator::stride_of_class(std::size_t cls) {
+  assert(cls < kNumClasses);
+  return kStrides[cls];
+}
+
+PAllocator::PAllocator(nvm::Device& dev, Mode mode) : dev_(dev) {
+  max_superblocks_ = (dev_.capacity() - kHeaderReserve) / kSuperblockSize;
+  tcaches_ = std::make_unique<Padded<ThreadCache>[]>(kMaxThreads);
+  if (mode == Mode::kFormat) {
+    // Fresh anonymous mappings are already zero; nothing to format. A
+    // file-backed device being recycled would need explicit zeroing, which
+    // tests do by constructing a fresh Device.
+    return;
+  }
+  // kAttach: find the watermark by scanning for valid superblock headers.
+  std::size_t watermark = 0;
+  for (std::size_t i = 0; i < max_superblocks_; ++i) {
+    auto* sb = reinterpret_cast<SuperblockHeader*>(at(sb_offset(i)));
+    if (sb->magic == kSbMagic) watermark = i + 1;
+  }
+  next_superblock_.store(watermark, std::memory_order_release);
+  // Free lists stay empty until rebuild_free_lists(); the epoch-system
+  // recovery must classify blocks first.
+}
+
+std::uint64_t PAllocator::carve_superblocks(std::size_t count) {
+  const std::uint64_t idx =
+      next_superblock_.fetch_add(count, std::memory_order_acq_rel);
+  if (idx + count > max_superblocks_) {
+    throw std::bad_alloc();  // simulated device is full
+  }
+  return idx;
+}
+
+std::uint64_t PAllocator::take_from_class(std::size_t cls) {
+  ClassState& cs = classes_[cls];
+  std::scoped_lock lk(cs.mu);
+  if (!cs.free_offsets.empty()) {
+    const std::uint64_t off = cs.free_offsets.back();
+    cs.free_offsets.pop_back();
+    return off;
+  }
+  const std::size_t stride = kStrides[cls];
+  if (cs.bump_sb == ~std::uint64_t{0} ||
+      cs.bump_next + stride > sb_offset(cs.bump_sb) + kSuperblockSize) {
+    const std::uint64_t sb = carve_superblocks(1);
+    auto* hdr = reinterpret_cast<SuperblockHeader*>(at(sb_offset(sb)));
+    hdr->magic = kSbMagic;
+    hdr->size_class = cls;
+    hdr->span = 1;
+    hdr->user_size = 0;
+    dev_.mark_dirty(hdr, sizeof(*hdr));
+    // The superblock header must be durable before any block carved from
+    // it can have a persisted epoch, or recovery's scan would miss it.
+    dev_.persist_nontxn(hdr, sizeof(*hdr));
+    cs.bump_sb = sb;
+    cs.bump_next = sb_offset(sb) + kCacheLineSize;
+  }
+  const std::uint64_t payload_off = cs.bump_next + sizeof(BlockHeader);
+  cs.bump_next += stride;
+  return payload_off;
+}
+
+void* PAllocator::init_block(std::uint64_t payload_off, std::size_t cls,
+                             std::size_t user_size) {
+  void* payload = at(payload_off);
+  BlockHeader* hdr = header_of(payload);
+  hdr->status = static_cast<std::uint32_t>(BlockStatus::kAllocated);
+  hdr->size_class = static_cast<std::uint32_t>(cls);
+  hdr->create_epoch = kInvalidEpoch;
+  hdr->delete_epoch = kInvalidEpoch;
+  hdr->user_size = user_size;
+  dev_.mark_dirty(hdr, sizeof(*hdr));
+  const std::size_t stride =
+      cls < kNumClasses ? kStrides[cls] : user_size + sizeof(BlockHeader);
+  bytes_in_use_.fetch_add(stride, std::memory_order_relaxed);
+  return payload;
+}
+
+void* PAllocator::alloc(std::size_t user_size) {
+  assert(!htm::in_txn() &&
+         "NVM allocation inside a transaction aborts on real HTM; "
+         "preallocate outside (paper Listing 1)");
+  const std::size_t cls = class_for(user_size);
+  if (cls >= kNumClasses) return alloc_large(user_size);
+
+  auto& cache = tcaches_[thread_id()].value.free_offsets[cls];
+  if (cache.empty()) {
+    // Refill: one block now plus a batch for subsequent allocations.
+    for (std::size_t i = 0; i < kCacheRefill - 1; ++i) {
+      ClassState& cs = classes_[cls];
+      std::scoped_lock lk(cs.mu);
+      if (cs.free_offsets.empty()) break;
+      cache.push_back(cs.free_offsets.back());
+      cs.free_offsets.pop_back();
+    }
+    if (cache.empty()) return init_block(take_from_class(cls), cls, user_size);
+  }
+  const std::uint64_t off = cache.back();
+  cache.pop_back();
+  return init_block(off, cls, user_size);
+}
+
+void* PAllocator::alloc_large(std::size_t user_size) {
+  const std::size_t need =
+      kCacheLineSize /*sb header*/ + sizeof(BlockHeader) + user_size;
+  const std::size_t span = (need + kSuperblockSize - 1) / kSuperblockSize;
+  std::uint64_t sb = ~std::uint64_t{0};
+  {
+    std::scoped_lock lk(large_mu_);
+    for (auto it = large_free_.begin(); it != large_free_.end(); ++it) {
+      if (it->second >= span) {
+        sb = it->first;
+        large_free_.erase(it);
+        break;
+      }
+    }
+  }
+  if (sb == ~std::uint64_t{0}) sb = carve_superblocks(span);
+  auto* shdr = reinterpret_cast<SuperblockHeader*>(at(sb_offset(sb)));
+  shdr->magic = kSbMagic;
+  shdr->size_class = kNumClasses;
+  shdr->span = span;
+  shdr->user_size = user_size;
+  dev_.mark_dirty(shdr, sizeof(*shdr));
+  dev_.persist_nontxn(shdr, sizeof(*shdr));
+  return init_block(sb_offset(sb) + kCacheLineSize + sizeof(BlockHeader),
+                    kNumClasses, user_size);
+}
+
+void PAllocator::free(void* payload) {
+  BlockHeader* hdr = header_of(payload);
+  assert(hdr->st() != BlockStatus::kFree && "double free");
+  const std::size_t cls = hdr->size_class;
+  hdr->status = static_cast<std::uint32_t>(BlockStatus::kFree);
+  dev_.mark_dirty(hdr, sizeof(*hdr));
+
+  if (cls >= kNumClasses) {
+    const std::uint64_t block_off =
+        static_cast<std::uint64_t>(reinterpret_cast<std::byte*>(hdr) -
+                                   dev_.base());
+    const std::uint64_t sb =
+        (block_off - kCacheLineSize - kHeaderReserve) / kSuperblockSize;
+    auto* shdr = reinterpret_cast<SuperblockHeader*>(at(sb_offset(sb)));
+    bytes_in_use_.fetch_sub(hdr->user_size + sizeof(BlockHeader),
+                            std::memory_order_relaxed);
+    std::scoped_lock lk(large_mu_);
+    large_free_.emplace_back(sb, shdr->span);
+    return;
+  }
+
+  bytes_in_use_.fetch_sub(kStrides[cls], std::memory_order_relaxed);
+  const std::uint64_t payload_off =
+      static_cast<std::uint64_t>(static_cast<std::byte*>(payload) -
+                                 dev_.base());
+  auto& cache = tcaches_[thread_id()].value.free_offsets[cls];
+  cache.push_back(payload_off);
+  if (cache.size() > kCacheSpill) {
+    ClassState& cs = classes_[cls];
+    std::scoped_lock lk(cs.mu);
+    // Spill the older half back to the shared list.
+    cs.free_offsets.insert(cs.free_offsets.end(), cache.begin(),
+                           cache.begin() + kCacheSpill / 2);
+    cache.erase(cache.begin(), cache.begin() + kCacheSpill / 2);
+  }
+}
+
+void PAllocator::rebuild_free_lists() {
+  for (auto& cs : classes_) {
+    std::scoped_lock lk(cs.mu);
+    cs.free_offsets.clear();
+    cs.bump_sb = ~std::uint64_t{0};
+    cs.bump_next = 0;
+  }
+  {
+    std::scoped_lock lk(large_mu_);
+    large_free_.clear();
+  }
+  for (int t = 0; t < kMaxThreads; ++t) {
+    for (auto& v : tcaches_[t].value.free_offsets) v.clear();
+  }
+  bytes_in_use_.store(0, std::memory_order_relaxed);
+
+  const std::size_t sb_count = superblock_watermark();
+  for (std::size_t i = 0; i < sb_count;) {
+    auto* sb = reinterpret_cast<SuperblockHeader*>(at(sb_offset(i)));
+    if (sb->magic != kSbMagic) {
+      ++i;
+      continue;
+    }
+    if (sb->size_class >= kNumClasses) {
+      auto* hdr = reinterpret_cast<BlockHeader*>(
+          at(sb_offset(i) + kCacheLineSize));
+      if (hdr->st() == BlockStatus::kFree) {
+        std::scoped_lock lk(large_mu_);
+        large_free_.emplace_back(i, sb->span);
+      } else {
+        bytes_in_use_.fetch_add(hdr->user_size + sizeof(BlockHeader),
+                                std::memory_order_relaxed);
+      }
+      i += sb->span;
+      continue;
+    }
+    const std::size_t cls = sb->size_class;
+    const std::size_t stride = kStrides[cls];
+    ClassState& cs = classes_[cls];
+    std::scoped_lock lk(cs.mu);
+    for (std::size_t off = sb_offset(i) + kCacheLineSize;
+         off + stride <= sb_offset(i) + kSuperblockSize; off += stride) {
+      auto* hdr = reinterpret_cast<BlockHeader*>(at(off));
+      if (hdr->st() == BlockStatus::kFree) {
+        cs.free_offsets.push_back(off + sizeof(BlockHeader));
+      } else {
+        bytes_in_use_.fetch_add(stride, std::memory_order_relaxed);
+      }
+    }
+    ++i;
+  }
+}
+
+std::uint64_t PAllocator::bytes_reserved() const {
+  return superblock_watermark() * kSuperblockSize;
+}
+
+}  // namespace bdhtm::alloc

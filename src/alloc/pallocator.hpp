@@ -1,0 +1,177 @@
+// Persistent NVM allocator (Ralloc substitute, DESIGN.md §2).
+//
+// Segregated size classes carved from 256 KiB superblocks inside an
+// nvm::Device, with per-thread block caches so the pNew() fast path is
+// lock-free. Every block carries a self-describing 32-byte header
+// (status, create/delete epoch, user size) — the metadata the epoch
+// system's §5.2 recovery scan classifies blocks by.
+//
+// Crash-consistency contract (shared with EpochSys):
+//   * Superblock headers are persisted synchronously at carve time, so a
+//     block whose epoch has persisted is always reachable by the scan.
+//   * Block headers are persisted lazily by the epoch system; a header
+//     that never reaches the media leaves the block looking FREE or stale
+//     on recovery, which the §5.2 rules resolve (reclaim or resurrect).
+//   * free() never needs to persist: it is only legal once the block's
+//     DELETED (or invalid-epoch) state is already durable — the epoch
+//     system and recovery uphold that ordering.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/defs.hpp"
+#include "common/threading.hpp"
+#include "nvm/device.hpp"
+
+namespace bdhtm::alloc {
+
+inline constexpr std::uint64_t kInvalidEpoch = ~std::uint64_t{0};
+
+enum class BlockStatus : std::uint32_t {
+  kFree = 0,       // never used, or reclaimed (matches zero pages)
+  kAllocated = 1,  // live (create_epoch may still be kInvalidEpoch)
+  kDeleted = 2,    // retired; delete_epoch says when
+};
+
+/// Self-describing per-block metadata, stored immediately before the
+/// payload. 32 bytes; all fields are read by the recovery scan.
+struct BlockHeader {
+  std::uint32_t status;      // BlockStatus
+  std::uint32_t size_class;  // index into the class table
+  std::uint64_t create_epoch;
+  std::uint64_t delete_epoch;
+  std::uint64_t user_size;
+
+  BlockStatus st() const { return static_cast<BlockStatus>(status); }
+};
+static_assert(sizeof(BlockHeader) == 32);
+
+class PAllocator {
+ public:
+  static constexpr std::size_t kSuperblockSize = 256 * 1024;
+  static constexpr std::size_t kNumClasses = 11;  // strides 64 B .. 64 KiB
+  static constexpr std::size_t kHeaderReserve = 4096;  // device-front area
+
+  enum class Mode {
+    kFormat,  // zero-initialize heap metadata (fresh heap)
+    kAttach,  // adopt an existing heap after a crash; caller must then
+              // run the epoch-system recovery before allocating
+  };
+
+  explicit PAllocator(nvm::Device& dev, Mode mode = Mode::kFormat);
+
+  /// Allocate a block with at least `user_size` payload bytes. The header
+  /// is initialized to {kAllocated, kInvalidEpoch, kInvalidEpoch}. Never
+  /// legal inside a hardware transaction (it may persist superblock
+  /// metadata); asserts in debug builds.
+  void* alloc(std::size_t user_size);
+
+  /// Return a block to its size-class free list. See the ordering
+  /// contract above: the block's durable state must already be dead.
+  void free(void* payload);
+
+  static BlockHeader* header_of(void* payload) {
+    return reinterpret_cast<BlockHeader*>(static_cast<std::byte*>(payload) -
+                                          sizeof(BlockHeader));
+  }
+  static void* payload_of(BlockHeader* hdr) {
+    return reinterpret_cast<std::byte*>(hdr) + sizeof(BlockHeader);
+  }
+
+  /// Visit every non-free block: fn(BlockHeader*, void* payload).
+  /// Used by the recovery scan and the space accountant.
+  template <typename Fn>
+  void for_each_block(Fn&& fn) {
+    const std::size_t sb_count = superblock_watermark();
+    for (std::size_t i = 0; i < sb_count;) {
+      i += visit_superblock(i, fn);  // large spans are skipped as a unit
+    }
+  }
+
+  /// Rebuild all transient free lists from header states. Part of
+  /// recovery, after the epoch system has classified blocks.
+  void rebuild_free_lists();
+
+  /// Payload bytes of live (kAllocated or kDeleted-pending) blocks.
+  std::uint64_t bytes_in_use() const {
+    return bytes_in_use_.load(std::memory_order_relaxed);
+  }
+  /// Total NVM footprint including headers and superblock slack.
+  std::uint64_t bytes_reserved() const;
+
+  nvm::Device& device() { return dev_; }
+
+  static std::size_t class_for(std::size_t user_size);
+  static std::size_t stride_of_class(std::size_t cls);
+
+ private:
+  struct SuperblockHeader {
+    std::uint64_t magic;
+    std::uint64_t size_class;  // kNumClasses == large span
+    std::uint64_t span;        // superblocks covered (1 for sized classes)
+    std::uint64_t user_size;   // for large spans
+  };
+  static constexpr std::uint64_t kSbMagic = 0xbdbdbdbd5b5b5b5bULL;
+
+  struct ClassState {
+    std::mutex mu;
+    std::vector<std::uint64_t> free_offsets;  // payload offsets
+    std::uint64_t bump_sb = ~std::uint64_t{0};  // active superblock index
+    std::uint64_t bump_next = 0;                // next payload offset in it
+  };
+
+  struct ThreadCache {
+    std::vector<std::uint64_t> free_offsets[kNumClasses];
+  };
+
+  std::size_t superblock_watermark() const {
+    return next_superblock_.load(std::memory_order_acquire);
+  }
+  template <typename Fn>
+  std::size_t visit_superblock(std::size_t index, Fn&& fn);
+  std::uint64_t carve_superblocks(std::size_t count);  // returns sb index
+  std::uint64_t take_from_class(std::size_t cls);      // payload offset
+  void* init_block(std::uint64_t payload_off, std::size_t cls,
+                   std::size_t user_size);
+  void* alloc_large(std::size_t user_size);
+
+  std::byte* at(std::uint64_t off) { return dev_.base() + off; }
+  std::uint64_t sb_offset(std::uint64_t index) const {
+    return kHeaderReserve + index * kSuperblockSize;
+  }
+
+  nvm::Device& dev_;
+  std::size_t max_superblocks_;
+  std::atomic<std::uint64_t> next_superblock_{0};
+  ClassState classes_[kNumClasses];
+  std::mutex large_mu_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> large_free_;  // {sb index, span}
+  std::unique_ptr<Padded<ThreadCache>[]> tcaches_;
+  std::atomic<std::uint64_t> bytes_in_use_{0};
+};
+
+template <typename Fn>
+std::size_t PAllocator::visit_superblock(std::size_t index, Fn&& fn) {
+  auto* sb = reinterpret_cast<SuperblockHeader*>(at(sb_offset(index)));
+  if (sb->magic != kSbMagic) return 1;  // header never persisted: skip
+  if (sb->size_class >= kNumClasses) {
+    // Large span: single block right after the superblock header.
+    auto* hdr = reinterpret_cast<BlockHeader*>(
+        at(sb_offset(index) + kCacheLineSize));
+    if (hdr->st() != BlockStatus::kFree) fn(hdr, payload_of(hdr));
+    return static_cast<std::size_t>(sb->span);
+  }
+  const std::size_t stride = stride_of_class(sb->size_class);
+  const std::size_t first = sb_offset(index) + kCacheLineSize;
+  const std::size_t end = sb_offset(index) + kSuperblockSize;
+  for (std::size_t off = first; off + stride <= end; off += stride) {
+    auto* hdr = reinterpret_cast<BlockHeader*>(at(off));
+    if (hdr->st() != BlockStatus::kFree) fn(hdr, payload_of(hdr));
+  }
+  return 1;
+}
+
+}  // namespace bdhtm::alloc

@@ -1,0 +1,33 @@
+// Core constants and small helpers shared by every bdhtm module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace bdhtm {
+
+/// Cache line size assumed throughout (x86 servers in the paper's testbed).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Optane XPLine internal access granularity (first generation: 256 B).
+/// Used by the NVM bandwidth model and by Spash's cold-write coalescing.
+inline constexpr std::size_t kXPLineSize = 256;
+
+/// Round v up to the next multiple of a (a must be a power of two).
+constexpr std::size_t round_up_pow2(std::size_t v, std::size_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+
+constexpr bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Index of the cache line containing byte offset `off`.
+constexpr std::size_t line_of(std::size_t off) { return off / kCacheLineSize; }
+
+/// Pad-to-cache-line wrapper to avoid false sharing of per-thread slots.
+template <typename T>
+struct alignas(kCacheLineSize) Padded {
+  T value{};
+};
+
+}  // namespace bdhtm

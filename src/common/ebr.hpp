@@ -1,0 +1,129 @@
+// Minimal epoch-based reclamation (EBR) domain, used to recycle MwCAS /
+// PMwCAS descriptors safely: a helper thread may hold a pointer to a
+// descriptor after its operation completed, so descriptors go through a
+// limbo list and are recycled only after every thread active at retire
+// time has since passed through a quiescent point.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/defs.hpp"
+#include "common/threading.hpp"
+
+namespace bdhtm {
+
+class EbrDomain {
+ public:
+  EbrDomain() {
+    slots_ = std::make_unique<Padded<std::atomic<std::uint64_t>>[]>(
+        kMaxThreads);
+    for (int i = 0; i < kMaxThreads; ++i) {
+      slots_[i].value.store(kIdle, std::memory_order_relaxed);
+    }
+    limbo_ = std::make_unique<Padded<Limbo>[]>(kMaxThreads);
+    depth_ = std::make_unique<Padded<int>[]>(kMaxThreads);
+  }
+
+  /// RAII critical-section guard; pointers to retire-able objects may only
+  /// be dereferenced while a guard is alive. Guards nest: only the
+  /// outermost one publishes/clears the thread's reservation.
+  class Guard {
+   public:
+    explicit Guard(EbrDomain& d) : d_(&d), tid_(thread_id()) {
+      if (d_->depth_[tid_].value++ == 0) {
+        const std::uint64_t era = d_->era_.load(std::memory_order_acquire);
+        d_->slots_[tid_].value.store(era, std::memory_order_seq_cst);
+      }
+    }
+    ~Guard() {
+      if (--d_->depth_[tid_].value == 0) {
+        d_->slots_[tid_].value.store(kIdle, std::memory_order_release);
+      }
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EbrDomain* d_;
+    int tid_;
+  };
+
+  /// Defer `reclaim(p)` until all current critical sections have exited.
+  /// Must be called inside a Guard (the caller is active).
+  void retire(void* p, void (*reclaim)(void*, void*), void* ctx) {
+    auto& lim = limbo_[thread_id()].value;
+    const std::uint64_t era =
+        era_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    lim.items.push_back({p, reclaim, ctx, era});
+    // Geometric trigger: when a stalled reservation (e.g. a descheduled
+    // thread on a loaded machine) blocks reclamation, the limbo may grow
+    // large; rescanning it on every few retires would be quadratic.
+    if (lim.items.size() >= kScanThreshold &&
+        lim.items.size() >= 2 * lim.last_kept) {
+      scan(lim);
+    }
+  }
+
+  /// Scan the calling thread's limbo immediately. Used as backpressure
+  /// by descriptor pools: a caller that holds no guard while waiting can
+  /// reclaim everything it retired (and, once every waiter is guard-free,
+  /// the whole domain drains).
+  void flush_mine() { scan(limbo_[thread_id()].value); }
+
+  /// Drain everything (single-threaded teardown only).
+  void drain_for_teardown() {
+    for (int t = 0; t < kMaxThreads; ++t) {
+      auto& lim = limbo_[t].value;
+      for (auto& it : lim.items) it.reclaim(it.p, it.ctx);
+      lim.items.clear();
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+  static constexpr std::size_t kScanThreshold = 64;
+
+  struct Item {
+    void* p;
+    void (*reclaim)(void*, void*);
+    void* ctx;
+    std::uint64_t era;
+  };
+  struct Limbo {
+    std::vector<Item> items;
+    std::size_t last_kept = 0;
+  };
+
+  void scan(Limbo& lim) {
+    std::uint64_t min_active = ~std::uint64_t{0};
+    const int n = max_thread_id_seen();
+    for (int t = 0; t < n; ++t) {
+      const std::uint64_t r = slots_[t].value.load(std::memory_order_seq_cst);
+      if (r != kIdle) min_active = std::min(min_active, r);
+    }
+    std::vector<Item> keep;
+    keep.reserve(lim.items.size());
+    for (auto& it : lim.items) {
+      // Safe iff retired strictly before every active critical section
+      // began (the caller's own guard observes era >= it.era, which is
+      // fine: the caller cannot still hold a stale reference it retired).
+      if (it.era < min_active) {
+        it.reclaim(it.p, it.ctx);
+      } else {
+        keep.push_back(it);
+      }
+    }
+    lim.items.swap(keep);
+    lim.last_kept = lim.items.size();
+  }
+
+  std::atomic<std::uint64_t> era_{1};
+  std::unique_ptr<Padded<std::atomic<std::uint64_t>>[]> slots_;
+  std::unique_ptr<Padded<Limbo>[]> limbo_;
+  std::unique_ptr<Padded<int>[]> depth_;  // per-thread guard nesting
+};
+
+}  // namespace bdhtm

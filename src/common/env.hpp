@@ -1,0 +1,20 @@
+// Environment-variable configuration helpers. Benchmarks and tests scale
+// paper-sized experiments down to container size by default; these knobs
+// restore paper scale (see DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bdhtm {
+
+/// Read an integer from the environment, or `fallback` if unset/invalid.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Read a double from the environment, or `fallback` if unset/invalid.
+double env_double(const char* name, double fallback);
+
+/// Read a string from the environment, or `fallback` if unset.
+std::string env_str(const char* name, const std::string& fallback);
+
+}  // namespace bdhtm

@@ -1,0 +1,5 @@
+#include "common/rng.hpp"
+
+// All RNG code is header-only; this TU anchors the component in the build
+// so missing-symbol errors surface here rather than at first use.
+namespace bdhtm {}

@@ -1,0 +1,104 @@
+// Deterministic pseudo-random generators and the Zipfian key generator
+// used by the YCSB-style workloads (paper §4: uniform and Zipfian 0.99).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace bdhtm {
+
+/// SplitMix64: used for seeding and cheap hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** — fast, high-quality PRNG; one instance per worker thread.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    for (auto& w : s_) w = seed = splitmix64(seed);
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Unbiased enough for workload generation.
+  std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return (next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// Zipfian generator over [0, n) with parameter theta, following the
+/// Gray et al. rejection-free method used by YCSB. Construction is O(1);
+/// next() is O(1). The most popular item is rank 0; workloads scramble
+/// ranks with splitmix64 so hot keys are spread across the key space.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t n, double theta, std::uint64_t seed = 1)
+      : rng_(seed), n_(n), theta_(theta) {
+    zetan_ = zeta(n_, theta_);
+    const double zeta2 = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  std::uint64_t next() {
+    const double u = rng_.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    // Exact sum for small n; Euler-Maclaurin style approximation otherwise,
+    // which keeps construction O(1) for the 2^26-key universes in the paper.
+    if (n <= (1u << 20)) {
+      double sum = 0;
+      for (std::uint64_t i = 1; i <= n; ++i) sum += std::pow(1.0 / i, theta);
+      return sum;
+    }
+    double sum = 0;
+    constexpr std::uint64_t kExact = 1u << 20;
+    for (std::uint64_t i = 1; i <= kExact; ++i) sum += std::pow(1.0 / i, theta);
+    // integral of x^-theta from kExact to n
+    sum += (std::pow(static_cast<double>(n), 1.0 - theta) -
+            std::pow(static_cast<double>(kExact), 1.0 - theta)) /
+           (1.0 - theta);
+    return sum;
+  }
+
+  Rng rng_;
+  std::uint64_t n_;
+  double theta_;
+  double zetan_, alpha_, eta_;
+};
+
+}  // namespace bdhtm

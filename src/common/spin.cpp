@@ -1,0 +1,48 @@
+#include "common/spin.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace bdhtm {
+namespace {
+
+std::atomic<double> g_iters_per_ns{0.0};
+
+// A loop body the optimizer cannot elide.
+inline void spin_iters(std::uint64_t iters) {
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    asm volatile("" ::: "memory");
+  }
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void spin_calibrate() {
+  if (g_iters_per_ns.load(std::memory_order_acquire) > 0.0) return;
+  constexpr std::uint64_t kProbe = 4'000'000;
+  const std::uint64_t t0 = now_ns();
+  spin_iters(kProbe);
+  const std::uint64_t t1 = now_ns();
+  const std::uint64_t elapsed = t1 > t0 ? t1 - t0 : 1;
+  g_iters_per_ns.store(static_cast<double>(kProbe) / elapsed,
+                       std::memory_order_release);
+}
+
+void spin_for_ns(std::uint32_t ns) {
+  if (ns == 0) return;
+  double rate = g_iters_per_ns.load(std::memory_order_acquire);
+  if (rate <= 0.0) {
+    spin_calibrate();
+    rate = g_iters_per_ns.load(std::memory_order_acquire);
+  }
+  spin_iters(static_cast<std::uint64_t>(rate * ns) + 1);
+}
+
+}  // namespace bdhtm

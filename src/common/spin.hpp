@@ -1,0 +1,19 @@
+// Calibrated busy-wait used by the NVM latency model (DESIGN.md §2).
+// sleep()-based delays are far too coarse for the 100 ns–1 µs range of
+// Optane access latencies, so we spin a calibrated number of iterations.
+#pragma once
+
+#include <cstdint>
+
+namespace bdhtm {
+
+/// Calibrate the spin loop (idempotent; first call costs ~1 ms).
+void spin_calibrate();
+
+/// Busy-wait for approximately `ns` nanoseconds. 0 is a no-op.
+void spin_for_ns(std::uint32_t ns);
+
+/// Monotonic wall-clock in nanoseconds.
+std::uint64_t now_ns();
+
+}  // namespace bdhtm

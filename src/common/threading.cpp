@@ -1,0 +1,37 @@
+#include "common/threading.hpp"
+
+#include <atomic>
+#include <cassert>
+
+namespace bdhtm {
+namespace {
+
+std::atomic<int> g_next_id{0};
+std::atomic<std::uint64_t> g_generation{0};
+
+struct ThreadSlot {
+  int id = -1;
+  std::uint64_t generation = ~0ull;
+};
+thread_local ThreadSlot t_slot;
+
+}  // namespace
+
+int thread_id() {
+  const std::uint64_t gen = g_generation.load(std::memory_order_acquire);
+  if (t_slot.id < 0 || t_slot.generation != gen) {
+    t_slot.id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+    t_slot.generation = gen;
+    assert(t_slot.id < kMaxThreads && "raise kMaxThreads");
+  }
+  return t_slot.id;
+}
+
+int max_thread_id_seen() { return g_next_id.load(std::memory_order_relaxed); }
+
+void reset_thread_ids_for_testing() {
+  g_next_id.store(0, std::memory_order_relaxed);
+  g_generation.fetch_add(1, std::memory_order_release);
+}
+
+}  // namespace bdhtm

@@ -1,0 +1,26 @@
+// Thread registration: every worker participating in HTM / epoch / NVM
+// machinery gets a small dense id in [0, kMaxThreads). Per-thread state in
+// those subsystems is an array indexed by this id (cache-line padded),
+// mirroring the per-thread announcement arrays of Montage.
+#pragma once
+
+#include <cstdint>
+
+namespace bdhtm {
+
+/// Upper bound on simultaneously registered threads (paper machine: 80 HW
+/// threads; we keep headroom for test harnesses).
+inline constexpr int kMaxThreads = 128;
+
+/// Dense id of the calling thread; registers it on first call.
+int thread_id();
+
+/// Number of ids handed out so far (monotonic; ids are never recycled
+/// within a process run — workers are long-lived in all our harnesses).
+int max_thread_id_seen();
+
+/// Reset the id counter. Only safe between test cases when all previously
+/// registered worker threads have been joined.
+void reset_thread_ids_for_testing();
+
+}  // namespace bdhtm

@@ -1,0 +1,236 @@
+#include "epoch/epoch_sys.hpp"
+
+#include <chrono>
+
+namespace bdhtm::epoch {
+
+namespace {
+constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+}
+
+EpochSys::EpochSys(alloc::PAllocator& pa) : EpochSys(pa, Config{}) {}
+
+EpochSys::EpochSys(alloc::PAllocator& pa, const Config& cfg)
+    : pa_(pa), epoch_length_us_(cfg.epoch_length_us) {
+  announce_ =
+      std::make_unique<Padded<std::atomic<std::uint64_t>>[]>(kMaxThreads);
+  for (int t = 0; t < kMaxThreads; ++t) {
+    announce_[t].value.store(kIdle, std::memory_order_relaxed);
+  }
+  tstate_ = std::make_unique<Padded<ThreadState>[]>(kMaxThreads);
+
+  if (cfg.attach) {
+    assert(root()->magic == kRootMagic &&
+           "attach requested but the heap has no persistent root");
+    // global_epoch_ is set by recover(); park it at the persisted value
+    // so current_epoch() is sane in the interim.
+    global_epoch_.store(root()->persisted_epoch, std::memory_order_release);
+  } else {
+    root()->magic = kRootMagic;
+    root()->persisted_epoch = kFirstEpoch;
+    persist_root();
+  }
+
+  if (cfg.start_advancer) {
+    advancer_ = std::jthread([this](std::stop_token st) {
+      while (!st.stop_requested()) {
+        const auto us = epoch_length_us_.load(std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+        if (st.stop_requested()) break;
+        advance();
+      }
+    });
+  }
+}
+
+EpochSys::~EpochSys() {
+  if (advancer_.joinable()) {
+    advancer_.request_stop();
+    advancer_.join();
+  }
+}
+
+EpochSys::PersistentRoot* EpochSys::root() {
+  return reinterpret_cast<PersistentRoot*>(pa_.device().base());
+}
+const EpochSys::PersistentRoot* EpochSys::root() const {
+  return reinterpret_cast<const PersistentRoot*>(pa_.device().base());
+}
+
+void EpochSys::persist_root() {
+  pa_.device().mark_dirty(root(), sizeof(PersistentRoot));
+  pa_.device().persist_nontxn(root(), sizeof(PersistentRoot));
+}
+
+std::uint64_t EpochSys::persisted_epoch() const {
+  return root()->persisted_epoch;
+}
+
+std::uint64_t EpochSys::beginOp() {
+  ThreadState& ts = tstate();
+  assert(ts.op_epoch == kInvalidEpoch && "beginOp without matching endOp");
+  auto& slot = announce_[thread_id()].value;
+  std::uint64_t e;
+  for (;;) {
+    e = global_epoch_.load(std::memory_order_seq_cst);
+    slot.store(e, std::memory_order_seq_cst);
+    if (global_epoch_.load(std::memory_order_seq_cst) == e) break;
+    slot.store(kIdle, std::memory_order_seq_cst);  // raced with advance()
+  }
+  ts.op_epoch = e;
+  ts.op_tracked.clear();
+  ts.op_retired.clear();
+  return e;
+}
+
+void EpochSys::endOp() {
+  ThreadState& ts = tstate();
+  assert(ts.op_epoch != kInvalidEpoch && "endOp without beginOp");
+  const std::size_t slot_idx = ts.op_epoch % 4;
+  auto& tracked = ts.epoch_tracked[slot_idx];
+  tracked.insert(tracked.end(), ts.op_tracked.begin(), ts.op_tracked.end());
+  auto& retired = ts.epoch_retired[slot_idx];
+  retired.insert(retired.end(), ts.op_retired.begin(), ts.op_retired.end());
+  ts.op_tracked.clear();
+  ts.op_retired.clear();
+  ts.op_epoch = kInvalidEpoch;
+  // The release in this store orders the buffer merges above before the
+  // advancer's acquire of the announcement slot.
+  announce_[thread_id()].value.store(kIdle, std::memory_order_seq_cst);
+}
+
+void EpochSys::abortOp() {
+  ThreadState& ts = tstate();
+  assert(ts.op_epoch != kInvalidEpoch && "abortOp without beginOp");
+  // Undo retire marks applied by the aborted operation.
+  nvm::Device& dev = pa_.device();
+  for (void* p : ts.op_retired) {
+    auto* hdr = alloc::PAllocator::header_of(p);
+    hdr->status = static_cast<std::uint32_t>(alloc::BlockStatus::kAllocated);
+    hdr->delete_epoch = kInvalidEpoch;
+    dev.mark_dirty(hdr, sizeof(*hdr));
+  }
+  ts.op_tracked.clear();
+  ts.op_retired.clear();
+  ts.op_epoch = kInvalidEpoch;
+  announce_[thread_id()].value.store(kIdle, std::memory_order_seq_cst);
+}
+
+void* EpochSys::pNew(std::size_t size) { return pa_.alloc(size); }
+
+void EpochSys::pSet(void* payload, const void* data, std::size_t len,
+                    std::size_t offset) {
+  assert(!htm::in_txn() &&
+         "use Txn::store_nvm inside transactions, pTrack after commit");
+  auto* dst = static_cast<std::byte*>(payload) + offset;
+  pa_.device().write_bytes(dst, data, len);
+  tstate().op_tracked.push_back({dst, static_cast<std::uint32_t>(len)});
+}
+
+void EpochSys::pRetire(void* payload) {
+  assert(!htm::in_txn() && "pRetire persists state; call it after commit");
+  ThreadState& ts = tstate();
+  assert(ts.op_epoch != kInvalidEpoch && "pRetire outside an operation");
+  auto* hdr = alloc::PAllocator::header_of(payload);
+  hdr->status = static_cast<std::uint32_t>(alloc::BlockStatus::kDeleted);
+  hdr->delete_epoch = ts.op_epoch;
+  pa_.device().mark_dirty(hdr, sizeof(*hdr));
+  ts.op_retired.push_back(payload);
+  stats_.blocks_retired.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EpochSys::pDelete(void* payload) { pa_.free(payload); }
+
+void EpochSys::pTrack(void* payload) {
+  assert(!htm::in_txn() && "pTrack after commit, not inside the txn");
+  ThreadState& ts = tstate();
+  assert(ts.op_epoch != kInvalidEpoch && "pTrack outside an operation");
+  auto* hdr = alloc::PAllocator::header_of(payload);
+  ts.op_tracked.push_back(
+      {hdr, static_cast<std::uint32_t>(sizeof(*hdr) + hdr->user_size)});
+}
+
+void EpochSys::advance() {
+  // Transitions are serialized: the background advancer and explicit
+  // advance()/persist_all() callers may overlap.
+  std::scoped_lock lk(advance_mu_);
+  const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+
+  // (1) Wait for in-flight operations of epoch e-1 to complete. New
+  // operations keep starting in the active epoch e meanwhile.
+  const int nthreads = max_thread_id_seen();
+  for (int t = 0; t < nthreads; ++t) {
+    auto& slot = announce_[t].value;
+    while (true) {
+      const std::uint64_t a = slot.load(std::memory_order_seq_cst);
+      if (a == kIdle || a >= e) break;
+      std::this_thread::yield();
+    }
+  }
+
+  // (2) Flush everything buffered in epoch e-1; persist DELETED headers
+  // of blocks retired in e-1, and queue those blocks for reclamation one
+  // transition later.
+  const std::size_t slot_idx = (e - 1) % 4;
+  nvm::Device& dev = pa_.device();
+  const bool do_flush = buffering_enabled();
+  for (int t = 0; t < nthreads; ++t) {
+    ThreadState& ts = tstate_[t].value;
+    if (do_flush) {
+      for (const TrackedRange& r : ts.epoch_tracked[slot_idx]) {
+        // Forced flush: tracked ranges may have been written through the
+        // HTM engine's commit path, which does not always mark lines
+        // dirty at byte granularity.
+        dev.flush_range_to_media(r.addr, r.len);
+        stats_.ranges_flushed.fetch_add(1, std::memory_order_relaxed);
+        stats_.bytes_flushed.fetch_add(r.len, std::memory_order_relaxed);
+      }
+      for (void* p : ts.epoch_retired[slot_idx]) {
+        auto* hdr = alloc::PAllocator::header_of(p);
+        dev.flush_range_to_media(hdr, sizeof(*hdr));
+      }
+    }
+    ts.epoch_tracked[slot_idx].clear();
+    pending_free_[slot_idx].insert(pending_free_[slot_idx].end(),
+                                   ts.epoch_retired[slot_idx].begin(),
+                                   ts.epoch_retired[slot_idx].end());
+    ts.epoch_retired[slot_idx].clear();
+  }
+  if (do_flush) dev.drain();
+
+  // (3) Persist the epoch counter, (4) publish the new epoch.
+  root()->persisted_epoch = e + 1;
+  if (do_flush) {
+    persist_root();
+  } else {
+    dev.mark_dirty(root(), sizeof(PersistentRoot));
+  }
+  global_epoch_.store(e + 1, std::memory_order_seq_cst);
+
+  // (5) Reclaim blocks retired in epoch e-2. Their replacements are
+  // durable (flushed at the previous transition), the persisted counter
+  // proves recovery will not resurrect them, AND no running operation
+  // can still hold a reference: an op could only have found a block that
+  // was reachable when the op began, the unlinking op ran in e-2, every
+  // op overlapping it ran in epoch <= e-1, and step (1) waited for
+  // those. This one-transition delay is what makes the epoch system
+  // double as safe memory reclamation (Montage's design).
+  auto& to_free = pending_free_[(e - 2) % 4];
+  for (void* p : to_free) {
+    pa_.free(p);
+    stats_.blocks_reclaimed.fetch_add(1, std::memory_order_relaxed);
+  }
+  to_free.clear();
+  stats_.epochs_advanced.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EpochSys::persist_all() {
+  // Three transitions flush the currently active epoch's writes (and
+  // everything older); the fourth completes deferred reclamation.
+  advance();
+  advance();
+  advance();
+  advance();
+}
+
+}  // namespace bdhtm::epoch

@@ -1,0 +1,281 @@
+// Buffered-durability epoch system (paper §3, Table 2; DESIGN.md §3).
+//
+// A background thread divides execution into epochs of a few milliseconds.
+// At any instant, with global epoch e:
+//   - e     is ACTIVE:    new operations register here,
+//   - e-1   is IN-FLIGHT: operations that began there may still finish,
+//   - i<=e-2 are VALID:   all their NVM writes are durable.
+//
+// NVM writes made by an operation are tracked in per-thread buffers and
+// written back (clwb + fence) by the advancer when their epoch becomes
+// valid — never on the operation's critical path and never inside a
+// hardware transaction. A crash in epoch e therefore recovers to the
+// consistent state at the end of epoch e-2: buffered durable
+// linearizability.
+//
+// HTM extensions over Montage (paper §3):
+//   * pNew() returns blocks tagged with an INVALID epoch; operations stamp
+//     the real epoch with setEpoch() *inside* the transaction, immediately
+//     before the linearization point, and recovery reclaims any block
+//     whose epoch is still invalid.
+//   * persistence (pTrack) and reclamation (pRetire) happen after the
+//     transaction commits, so no persist instruction can abort it.
+//   * An operation that observes a block from a *newer* epoch must abort
+//     (OldSeeNewException) and restart via abortOp() + beginOp().
+//
+// Transition algorithm (advance(), executed once per epoch length):
+//   1. wait until no announced operation remains in epoch e-1;
+//   2. flush every write buffered in epoch e-1 and persist the DELETED
+//      headers of blocks retired in e-1;
+//   3. persist the global epoch counter as e+1;
+//   4. publish global epoch e+1;
+//   5. reclaim blocks retired in e-1 (their replacements are now durable
+//      and the persisted counter proves it).
+//
+// On an eADR device (persistent cache) flushing is unnecessary; the epoch
+// system disables its write-back work and keeps only the epoch clock and
+// deferred reclamation, as §4.3 describes for BD-Spash.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "alloc/pallocator.hpp"
+#include "common/defs.hpp"
+#include "common/threading.hpp"
+#include "htm/engine.hpp"
+#include "nvm/device.hpp"
+
+namespace bdhtm::epoch {
+
+using alloc::kInvalidEpoch;
+
+/// Abort code used with Txn::abort() when an operation in an old epoch
+/// sees a block stamped by a newer epoch (paper Listing 1 line 23).
+inline constexpr std::uint8_t kOldSeeNewException = 0x51;
+/// Abort code for global-lock subscription failures (Listing 1 line 16).
+inline constexpr std::uint8_t kLockedException = 0x52;
+
+struct EpochStats {
+  std::atomic<std::uint64_t> epochs_advanced{0};
+  std::atomic<std::uint64_t> ranges_flushed{0};
+  std::atomic<std::uint64_t> bytes_flushed{0};
+  std::atomic<std::uint64_t> blocks_retired{0};
+  std::atomic<std::uint64_t> blocks_reclaimed{0};
+};
+
+class EpochSys {
+ public:
+  struct Config {
+    /// Epoch length; the paper's default is 50 ms (§4), swept in Fig. 7/8.
+    std::uint64_t epoch_length_us = 50'000;
+    /// Spawn the background advancer. Tests drive advance() manually.
+    bool start_advancer = true;
+    /// Attach to an existing (crashed) heap instead of formatting a new
+    /// root; the caller must run recover() before any operation.
+    bool attach = false;
+  };
+
+  /// Fresh heap: formats the persistent root. Pass Config{.attach=true}
+  /// (with a kAttach-mode allocator) after a crash, then call recover().
+  EpochSys(alloc::PAllocator& pa, const Config& cfg);
+  explicit EpochSys(alloc::PAllocator& pa);
+  ~EpochSys();
+  EpochSys(const EpochSys&) = delete;
+  EpochSys& operator=(const EpochSys&) = delete;
+
+  // ---- Table 2 API ----
+
+  /// Register the calling thread in the current epoch and start tracking
+  /// its NVM writes. Returns the operation's epoch.
+  std::uint64_t beginOp();
+
+  /// Schedule tracked writes for persistence and leave the epoch.
+  void endOp();
+
+  /// Leave the epoch and discard tracked writes; undoes pRetire() marks
+  /// made by the aborted operation.
+  void abortOp();
+
+  /// Allocate an NVM block (epoch = invalid until setEpoch). Must be
+  /// called outside any hardware transaction.
+  void* pNew(std::size_t size);
+
+  /// In-place update of a block's payload, tracked for delayed
+  /// persistence. Non-transactional path; inside transactions use
+  /// Txn::store_nvm and pTrack the block after commit.
+  void pSet(void* payload, const void* data, std::size_t len,
+            std::size_t offset = 0);
+
+  /// Mark a block for reclamation once the current epoch is durable.
+  void pRetire(void* payload);
+
+  /// Immediately reclaim a block (only safe for blocks that were never
+  /// visible to other threads, e.g. unused preallocations).
+  void pDelete(void* payload);
+
+  /// Track an existing block so the whole block (header + payload) is
+  /// flushed when the current epoch is persisted.
+  void pTrack(void* payload);
+
+  // ---- Epoch tags on blocks (paper's setEpoch()/getEpoch() extension) --
+
+  static std::uint64_t get_epoch(const void* payload) {
+    return htm::nontx_load(&alloc::PAllocator::header_of(
+                                const_cast<void*>(payload))->create_epoch);
+  }
+  static void set_epoch_nontx(nvm::Device& dev, void* payload,
+                              std::uint64_t e) {
+    auto* hdr = alloc::PAllocator::header_of(payload);
+    htm::nontx_store(&hdr->create_epoch, e);
+    dev.mark_dirty(&hdr->create_epoch, sizeof(e));
+  }
+  /// Transactional variants — the Listing 1 pattern stamps the epoch
+  /// inside the transaction, before the linearization point.
+  static std::uint64_t get_epoch_tx(htm::Txn& tx, const void* payload) {
+    return tx.load(&alloc::PAllocator::header_of(
+                        const_cast<void*>(payload))->create_epoch);
+  }
+  static void set_epoch_tx(htm::Txn& tx, nvm::Device& dev, void* payload,
+                           std::uint64_t e) {
+    auto* hdr = alloc::PAllocator::header_of(payload);
+    tx.store_nvm(dev, &hdr->create_epoch, e);
+  }
+  /// Accessor-generic variant for code shared between the transactional
+  /// and fallback paths (htm/access.hpp).
+  template <typename Acc>
+  static void set_epoch_generic(Acc& acc, nvm::Device& dev, void* payload,
+                                std::uint64_t e) {
+    auto* hdr = alloc::PAllocator::header_of(payload);
+    acc.store_nvm(dev, &hdr->create_epoch, e);
+  }
+
+  // ---- Clock / control ----
+
+  std::uint64_t current_epoch() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// True when delayed write-back is active (false on eADR devices, where
+  /// the system degenerates to an epoch clock + deferred reclamation).
+  bool buffering_enabled() const { return !pa_.device().eadr(); }
+
+  /// One epoch transition (the advancer calls this once per epoch length).
+  void advance();
+
+  /// Advance until everything buffered so far is durable. Callers must
+  /// have quiesced operations. Used before planned shutdown and by the
+  /// space-accounting benchmarks.
+  void persist_all();
+
+  void set_epoch_length_us(std::uint64_t us) {
+    epoch_length_us_.store(us, std::memory_order_relaxed);
+  }
+  std::uint64_t epoch_length_us() const {
+    return epoch_length_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Epoch recovered to after the given crash-time persisted epoch; the
+  /// "e-2" of the BDL guarantee. Exposed for tests.
+  static std::uint64_t recovery_frontier(std::uint64_t persisted) {
+    return persisted - 2;
+  }
+
+  // ---- Recovery (§5.2) ----
+
+  /// Post-crash constructor path: attach to the heap, classify every
+  /// block, neutralize dead ones, resurrect recently-deleted ones, and
+  /// hand each live payload to `live_fn(void* payload, std::uint64_t
+  /// create_epoch)`. The caller (a data structure) rebuilds its DRAM
+  /// index from these callbacks.
+  template <typename Fn>
+  void recover(Fn&& live_fn) {
+    const std::uint64_t p = persisted_epoch();
+    const std::uint64_t frontier = recovery_frontier(p);
+    nvm::Device& dev = pa_.device();
+    pa_.for_each_block([&](alloc::BlockHeader* hdr, void* payload) {
+      const bool created_valid =
+          hdr->create_epoch != kInvalidEpoch && hdr->create_epoch <= frontier;
+      const bool alive =
+          created_valid &&
+          (hdr->st() == alloc::BlockStatus::kAllocated
+               ? hdr->delete_epoch == kInvalidEpoch ||
+                     hdr->delete_epoch > frontier
+               : hdr->st() == alloc::BlockStatus::kDeleted &&
+                     hdr->delete_epoch > frontier);
+      if (alive) {
+        // Normalize: the resurrected/live state must itself be durable,
+        // or a later crash could re-kill a block we handed back.
+        hdr->status = static_cast<std::uint32_t>(alloc::BlockStatus::kAllocated);
+        hdr->delete_epoch = kInvalidEpoch;
+        dev.mark_dirty(hdr, sizeof(*hdr));
+        dev.clwb_nontxn(hdr);
+        live_fn(payload, hdr->create_epoch);
+      } else {
+        hdr->status = static_cast<std::uint32_t>(alloc::BlockStatus::kFree);
+        dev.mark_dirty(hdr, sizeof(*hdr));
+        dev.clwb_nontxn(hdr);
+      }
+    });
+    dev.drain();
+    pa_.rebuild_free_lists();
+    // Resume strictly after every epoch that may appear on a live block.
+    global_epoch_.store(p + 2, std::memory_order_release);
+    persist_root();
+  }
+
+  std::uint64_t persisted_epoch() const;
+
+  const EpochStats& stats() const { return stats_; }
+  alloc::PAllocator& allocator() { return pa_; }
+  nvm::Device& device() { return pa_.device(); }
+
+ private:
+  struct TrackedRange {
+    void* addr;
+    std::uint32_t len;
+  };
+
+  // All per-thread state lives here (indexed by thread_id()) rather than
+  // in thread_locals so multiple EpochSys instances (tests) don't alias.
+  struct ThreadState {
+    std::uint64_t op_epoch = kInvalidEpoch;
+    std::vector<TrackedRange> op_tracked;
+    std::vector<void*> op_retired;
+    // Ring of per-epoch buffers; 4 slots cover active, in-flight,
+    // being-flushed, and one safety slot (see advance()).
+    std::vector<TrackedRange> epoch_tracked[4];
+    std::vector<void*> epoch_retired[4];
+  };
+
+  struct PersistentRoot {
+    std::uint64_t magic;
+    std::uint64_t persisted_epoch;
+  };
+  static constexpr std::uint64_t kRootMagic = 0xbd47a6e0ULL;
+  // First usable epoch: recovery_frontier(kFirstEpoch) must not underflow.
+  static constexpr std::uint64_t kFirstEpoch = 2;
+
+  PersistentRoot* root();
+  const PersistentRoot* root() const;
+  void persist_root();
+  ThreadState& tstate() { return tstate_[thread_id()].value; }
+
+  alloc::PAllocator& pa_;
+  std::mutex advance_mu_;
+  // Retired blocks awaiting reclamation, indexed by retire-epoch % 4;
+  // touched only under advance_mu_.
+  std::vector<void*> pending_free_[4];
+  std::atomic<std::uint64_t> global_epoch_{kFirstEpoch};
+  std::atomic<std::uint64_t> epoch_length_us_;
+  std::unique_ptr<Padded<std::atomic<std::uint64_t>>[]> announce_;
+  std::unique_ptr<Padded<ThreadState>[]> tstate_;
+  EpochStats stats_;
+  std::jthread advancer_;  // last member: joins before the rest dies
+};
+
+}  // namespace bdhtm::epoch

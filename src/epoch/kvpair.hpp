@@ -1,0 +1,41 @@
+// The NVM-resident key-value block shared by all BDL structures in this
+// repository (paper §4: 8-byte keys, 8-byte values; indexes stay in DRAM
+// and point at these blocks; recovery scans them to rebuild the index).
+#pragma once
+
+#include <cstdint>
+
+#include "alloc/pallocator.hpp"
+#include "epoch/epoch_sys.hpp"
+#include "htm/access.hpp"
+
+namespace bdhtm::epoch {
+
+struct KVPair {
+  std::uint64_t key;
+  std::uint64_t value;
+};
+
+/// Allocate and initialize a KVPair in NVM with an invalid epoch (the
+/// paper's preallocation rule: the epoch is stamped inside the
+/// transaction that links the block, via set_epoch_tx).
+inline KVPair* make_kv(EpochSys& es, std::uint64_t k, std::uint64_t v) {
+  auto* kv = static_cast<KVPair*>(es.pNew(sizeof(KVPair)));
+  kv->key = k;
+  kv->value = v;
+  es.device().mark_dirty(kv, sizeof(*kv));
+  return kv;
+}
+
+/// Reset a preallocated block for reuse by a new operation attempt.
+inline void reinit_kv(EpochSys& es, KVPair* kv, std::uint64_t k,
+                      std::uint64_t v) {
+  kv->key = k;
+  kv->value = v;
+  auto* hdr = alloc::PAllocator::header_of(kv);
+  hdr->create_epoch = kInvalidEpoch;
+  es.device().mark_dirty(kv, sizeof(*kv));
+  es.device().mark_dirty(&hdr->create_epoch, 8);
+}
+
+}  // namespace bdhtm::epoch

@@ -1,0 +1,387 @@
+#include "hash/bd_spash.hpp"
+
+#include <cassert>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "htm/retry.hpp"
+#include "nvm/roots.hpp"
+
+namespace bdhtm::hash {
+
+using epoch::KVPair;
+using epoch::kOldSeeNewException;
+
+namespace {
+constexpr std::uint8_t kFullBucket = 0x62;
+constexpr int kMaxTxnRetries = 16;
+
+std::uint64_t mix(std::uint64_t key) { return splitmix64(key); }
+
+std::uint64_t block_epoch(const void* payload) {
+  return alloc::PAllocator::header_of(const_cast<void*>(payload))
+      ->create_epoch;
+}
+}  // namespace
+
+BDSpash::BDSpash(epoch::EpochSys& es, int initial_depth,
+                 std::size_t value_block_bytes, PersistRouting routing)
+    : es_(es),
+      dev_(es.device()),
+      block_bytes_(std::max(value_block_bytes, sizeof(KVPair))),
+      routing_(routing),
+      global_depth_(initial_depth) {
+  const std::size_t n = std::size_t{1} << initial_depth;
+  dir_ = std::make_unique<std::uint64_t[]>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dir_[i] = reinterpret_cast<std::uint64_t>(make_segment(initial_depth));
+  }
+  dir_ptr_ = reinterpret_cast<std::uint64_t>(dir_.get());
+  tctx_ = std::make_unique<Padded<ThreadCtx>[]>(kMaxThreads);
+}
+
+BDSpash::~BDSpash() = default;
+
+BDSpash::Segment* BDSpash::make_segment(std::uint64_t depth) {
+  auto seg = std::make_unique<Segment>();
+  seg->local_depth = depth;
+  for (auto& b : seg->buckets) {
+    for (auto& k : b.keys) k = kEmptyKey;
+  }
+  Segment* out = seg.get();
+  std::scoped_lock lk(segments_mu_);
+  segments_.push_back(std::move(seg));
+  return out;
+}
+
+template <typename Acc>
+BDSpash::Bucket& BDSpash::locate(Acc& acc, std::uint64_t h) {
+  auto* dir = reinterpret_cast<std::uint64_t*>(acc.load(&dir_ptr_));
+  const std::uint64_t gd = acc.load(&global_depth_);
+  auto* seg = reinterpret_cast<Segment*>(
+      acc.load(&dir[h & ((std::uint64_t{1} << gd) - 1)]));
+  return seg->buckets[(h >> 48) & (kBucketsPerSegment - 1)];
+}
+
+// Listing 1 retry structure shared by insert and remove.
+template <typename Body, typename Prep>
+bool BDSpash::mutate(std::uint64_t h, Body&& body, Prep&& prep) {
+  for (;;) {  // retry_regist
+    const std::uint64_t op_epoch = es_.beginOp();
+    prep(op_epoch);
+    OpCtl ctl;
+    bool committed = false;
+    bool restart_epoch = false;
+
+    for (int attempt = 0; attempt < kMaxTxnRetries; ++attempt) {
+      const unsigned st = htm::run([&](htm::Txn& tx) {
+        lock_.subscribe(tx, htm::kLockedCode);
+        ctl = OpCtl{};
+        htm::TxAccess acc{tx};
+        body(acc, op_epoch, ctl);
+      });
+      if (st == htm::kCommitted) {
+        committed = true;
+        break;
+      }
+      if (st & htm::kAbortExplicit) {
+        const std::uint8_t code = htm::explicit_code(st);
+        if (code == kOldSeeNewException) {
+          restart_epoch = true;
+          break;
+        }
+        if (code == kFullBucket) {
+          committed = true;  // handled below via ctl.full
+          ctl.full = true;
+          break;
+        }
+        if (code == htm::kLockedCode) {
+          lock_.wait_until_free();
+          continue;
+        }
+      }
+      if (st & htm::kAbortMemtype) {
+        htm::prewalk_hint();
+        continue;
+      }
+    }
+
+    if (!committed && !restart_epoch) {
+      htm::FallbackGuard guard(lock_);
+      try {
+        ctl = OpCtl{};
+        htm::NontxAccess acc;
+        body(acc, op_epoch, ctl);
+        committed = true;
+      } catch (const htm::FallbackRestart& fr) {
+        if (fr.code == kFullBucket) {
+          committed = true;
+          ctl.full = true;
+        } else {
+          assert(fr.code == kOldSeeNewException);
+          restart_epoch = true;
+        }
+      }
+    }
+
+    if (restart_epoch) {
+      es_.abortOp();
+      continue;
+    }
+    if (ctl.full) {
+      es_.abortOp();
+      split(h);
+      continue;
+    }
+
+    // op_done: persistence and reclamation strictly after the txn.
+    auto& tc = tctx_[thread_id()].value;
+    if (ctl.used_new) {
+      tc.new_blk = nullptr;
+    } else if (tc.new_blk != nullptr) {
+      auto* hdr = alloc::PAllocator::header_of(tc.new_blk);
+      hdr->create_epoch = alloc::kInvalidEpoch;
+      dev_.mark_dirty(&hdr->create_epoch, 8);
+    }
+    if (ctl.retire != nullptr) es_.pRetire(ctl.retire);
+    if (ctl.persist != nullptr) {
+      // The §4.3 routing decision: large cold blocks are written back at
+      // once (cache + bandwidth optimization); hot or small blocks ride
+      // the epoch system's batched background flush.
+      const bool immediate =
+          routing_ == PersistRouting::kAllImmediate ||
+          (routing_ == PersistRouting::kHybrid &&
+           block_bytes_ >= kXPLineSize && !hotspot_.is_hot(h));
+      if (immediate) {
+        dev_.persist_nontxn(ctl.persist, block_bytes_);
+      } else {
+        es_.pTrack(ctl.persist);
+      }
+    }
+    es_.endOp();
+    return ctl.result;
+  }
+}
+
+bool BDSpash::insert(std::uint64_t key, std::uint64_t value) {
+  assert(key != kEmptyKey);
+  const std::uint64_t h = mix(key);
+  hotspot_.touch(h);
+  auto& tc = tctx_[thread_id()].value;
+  return mutate(
+      h,
+      [&](auto& acc, std::uint64_t op_epoch, OpCtl& ctl) {
+        KVPair* nb = tc.new_blk;
+        epoch::EpochSys::set_epoch_generic(acc, dev_, nb, op_epoch);
+        Bucket& b = locate(acc, h);
+        int free_slot = -1;
+        for (int i = 0; i < kSlotsPerBucket; ++i) {
+          const std::uint64_t k = acc.load(&b.keys[i]);
+          if (k == key) {  // found: update (Listing 1 lines 20-32)
+            auto* cur = reinterpret_cast<KVPair*>(acc.load(&b.kvs[i]));
+            const std::uint64_t e = acc.load(
+                &alloc::PAllocator::header_of(cur)->create_epoch);
+            if (e != alloc::kInvalidEpoch && e > op_epoch) {
+              acc.fail(kOldSeeNewException);
+            }
+            if (e == op_epoch) {
+              acc.store_nvm(dev_, &cur->value, value);
+              ctl.persist = cur;
+            } else {
+              acc.store(&b.kvs[i], reinterpret_cast<std::uint64_t>(nb));
+              ctl.retire = cur;
+              ctl.persist = nb;
+              ctl.used_new = true;
+            }
+            ctl.result = false;
+            return;
+          }
+          if (k == kEmptyKey && free_slot < 0) free_slot = i;
+        }
+        if (free_slot < 0) acc.fail(kFullBucket);
+        acc.store(&b.kvs[free_slot], reinterpret_cast<std::uint64_t>(nb));
+        acc.store(&b.keys[free_slot], key);
+        ctl.persist = nb;
+        ctl.used_new = true;
+        ctl.result = true;
+      },
+      [&](std::uint64_t) {
+        if (tc.new_blk == nullptr) {
+          auto* kv = static_cast<KVPair*>(es_.pNew(block_bytes_));
+          kv->key = key;
+          kv->value = value;
+          dev_.mark_dirty(kv, sizeof(KVPair));
+          tc.new_blk = kv;
+        } else {
+          epoch::reinit_kv(es_, tc.new_blk, key, value);
+        }
+      });
+}
+
+bool BDSpash::remove(std::uint64_t key) {
+  const std::uint64_t h = mix(key);
+  return mutate(
+      h,
+      [&](auto& acc, std::uint64_t op_epoch, OpCtl& ctl) {
+        Bucket& b = locate(acc, h);
+        for (int i = 0; i < kSlotsPerBucket; ++i) {
+          if (acc.load(&b.keys[i]) == key) {
+            auto* cur = reinterpret_cast<KVPair*>(acc.load(&b.kvs[i]));
+            const std::uint64_t e = acc.load(
+                &alloc::PAllocator::header_of(cur)->create_epoch);
+            if (e != alloc::kInvalidEpoch && e > op_epoch) {
+              acc.fail(kOldSeeNewException);
+            }
+            acc.store(&b.keys[i], kEmptyKey);
+            ctl.retire = cur;
+            ctl.result = true;
+            return;
+          }
+        }
+        ctl.result = false;
+      },
+      [](std::uint64_t) {});
+}
+
+std::optional<std::uint64_t> BDSpash::find(std::uint64_t key) {
+  const std::uint64_t h = mix(key);
+  hotspot_.touch(h);
+  es_.beginOp();  // pin the epoch against reclamation
+  auto out = htm::elide<std::optional<std::uint64_t>>(
+      lock_, [&](auto& acc) -> std::optional<std::uint64_t> {
+        Bucket& b = locate(acc, h);
+        for (int i = 0; i < kSlotsPerBucket; ++i) {
+          if (acc.load(&b.keys[i]) == key) {
+            auto* kv = reinterpret_cast<KVPair*>(acc.load(&b.kvs[i]));
+            dev_.account_read();
+            return acc.load(&kv->value);
+          }
+        }
+        return std::nullopt;
+      });
+  es_.endOp();
+  return out;
+}
+
+void BDSpash::split(std::uint64_t h) {
+  htm::FallbackGuard guard(lock_);
+  const std::uint64_t gd = htm::nontx_load(&global_depth_);
+  auto* dir = reinterpret_cast<std::uint64_t*>(htm::nontx_load(&dir_ptr_));
+  const std::uint64_t idx = h & ((std::uint64_t{1} << gd) - 1);
+  auto* seg = reinterpret_cast<Segment*>(htm::nontx_load(&dir[idx]));
+  const std::uint64_t ld = htm::nontx_load(&seg->local_depth);
+
+  if (ld == gd) {  // directory doubling
+    const std::size_t n = std::size_t{1} << gd;
+    auto fresh = std::make_unique<std::uint64_t[]>(2 * n);
+    // LSB directory indexing: route bits grow at the top, so the new
+    // half of the directory mirrors the old half.
+    for (std::size_t i = 0; i < n; ++i) {
+      fresh[i] = dir[i];
+      fresh[n + i] = dir[i];
+    }
+    assert(n_old_dirs_ < 48);
+    old_dirs_[n_old_dirs_++] = std::move(dir_);
+    dir_ = std::move(fresh);
+    htm::nontx_store(&dir_ptr_,
+                     reinterpret_cast<std::uint64_t>(dir_.get()));
+    htm::nontx_store(&global_depth_, gd + 1);
+    return;
+  }
+
+  Segment* sibling = make_segment(ld + 1);
+  htm::nontx_store(&seg->local_depth, ld + 1);
+  for (auto& b : seg->buckets) {
+    const std::size_t bi = static_cast<std::size_t>(&b - seg->buckets);
+    for (int i = 0; i < kSlotsPerBucket; ++i) {
+      const std::uint64_t k = htm::nontx_load(&b.keys[i]);
+      if (k == kEmptyKey) continue;
+      if ((mix(k) >> ld) & 1) {
+        Bucket& nb = sibling->buckets[bi];
+        for (int j = 0; j < kSlotsPerBucket; ++j) {
+          if (nb.keys[j] == kEmptyKey) {
+            nb.kvs[j] = htm::nontx_load(&b.kvs[i]);
+            nb.keys[j] = k;
+            break;
+          }
+        }
+        htm::nontx_store(&b.keys[i], kEmptyKey);
+      }
+    }
+  }
+  const std::uint64_t new_gd = htm::nontx_load(&global_depth_);
+  auto* cur_dir =
+      reinterpret_cast<std::uint64_t*>(htm::nontx_load(&dir_ptr_));
+  const std::uint64_t low = idx & ((std::uint64_t{1} << ld) - 1);
+  for (std::uint64_t i = low; i < (std::uint64_t{1} << new_gd);
+       i += (std::uint64_t{1} << ld)) {
+    if ((i >> ld) & 1) {
+      htm::nontx_store(&cur_dir[i],
+                       reinterpret_cast<std::uint64_t>(sibling));
+    }
+  }
+}
+
+void BDSpash::link_recovered(KVPair* kv) {
+  const std::uint64_t key = kv->key;
+  const std::uint64_t h = mix(key);
+  KVPair* loser = htm::elide<KVPair*>(lock_, [&](auto& acc) -> KVPair* {
+    Bucket& b = locate(acc, h);
+    int free_slot = -1;
+    for (int i = 0; i < kSlotsPerBucket; ++i) {
+      const std::uint64_t k = acc.load(&b.keys[i]);
+      if (k == key) {
+        auto* cur = reinterpret_cast<KVPair*>(acc.load(&b.kvs[i]));
+        if (block_epoch(cur) < block_epoch(kv)) {
+          acc.store(&b.kvs[i], reinterpret_cast<std::uint64_t>(kv));
+          return cur;
+        }
+        return kv;
+      }
+      if (k == kEmptyKey && free_slot < 0) free_slot = i;
+    }
+    if (free_slot < 0) acc.fail(kFullBucket);
+    acc.store(&b.kvs[free_slot], reinterpret_cast<std::uint64_t>(kv));
+    acc.store(&b.keys[free_slot], key);
+    return nullptr;
+  });
+  if (loser != nullptr) es_.pDelete(loser);
+}
+
+std::size_t BDSpash::recover(int threads) {
+  std::vector<KVPair*> blocks;
+  es_.recover([&](void* payload, std::uint64_t) {
+    blocks.push_back(static_cast<KVPair*>(payload));
+  });
+  auto link_all = [this](const std::vector<KVPair*>& blks, std::size_t lo,
+                         std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (;;) {
+        try {
+          link_recovered(blks[i]);
+          break;
+        } catch (const htm::FallbackRestart& fr) {
+          assert(fr.code == kFullBucket);
+          (void)fr;
+          split(mix(blks[i]->key));
+        }
+      }
+    }
+  };
+  if (threads <= 1) {
+    link_all(blocks, 0, blocks.size());
+  } else {
+    std::vector<std::thread> workers;
+    const std::size_t chunk = (blocks.size() + threads - 1) / threads;
+    for (int t = 0; t < threads; ++t) {
+      const std::size_t lo = t * chunk;
+      const std::size_t hi = std::min(blocks.size(), lo + chunk);
+      if (lo >= hi) break;
+      workers.emplace_back([&, lo, hi] { link_all(blocks, lo, hi); });
+    }
+    for (auto& w : workers) w.join();
+  }
+  return blocks.size();
+}
+
+}  // namespace bdhtm::hash

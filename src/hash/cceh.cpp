@@ -1,0 +1,227 @@
+#include "hash/cceh.hpp"
+
+#include <cassert>
+#include <mutex>
+
+#include "common/rng.hpp"
+#include "nvm/roots.hpp"
+
+namespace bdhtm::hash {
+namespace {
+std::uint64_t mix(std::uint64_t key) { return splitmix64(key); }
+
+std::uint64_t aload(const std::uint64_t* p) {
+  return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+}
+void astore(std::uint64_t* p, std::uint64_t v) {
+  __atomic_store_n(p, v, __ATOMIC_RELEASE);
+}
+}  // namespace
+
+CCEH::CCEH(nvm::Device& dev, alloc::PAllocator& pa, Mode mode,
+           int initial_depth)
+    : dev_(dev), pa_(pa) {
+  seg_locks_ = std::make_unique<std::shared_mutex[]>(kLockStripes);
+  if (mode == Mode::kFormat) {
+    root_ = static_cast<Root*>(pa_.alloc(sizeof(Root)));
+    const std::size_t n = std::size_t{1} << initial_depth;
+    dir_ = static_cast<std::uint64_t*>(pa_.alloc(n * sizeof(std::uint64_t)));
+    for (std::size_t i = 0; i < n; ++i) {
+      dir_[i] = reinterpret_cast<std::uint64_t>(make_segment(initial_depth));
+    }
+    dev_.mark_dirty(dir_, n * sizeof(std::uint64_t));
+    dev_.persist_nontxn(dir_, n * sizeof(std::uint64_t));
+    root_->dir_off = static_cast<std::uint64_t>(
+        reinterpret_cast<std::byte*>(dir_) - dev_.base());
+    root_->global_depth = initial_depth;
+    dev_.mark_dirty(root_, sizeof(Root));
+    dev_.persist_nontxn(root_, sizeof(Root));
+    nvm::publish_root(dev_, nvm::kRootStructure,
+                      static_cast<std::uint64_t>(
+                          reinterpret_cast<std::byte*>(root_) - dev_.base()));
+  } else {
+    root_ = reinterpret_cast<Root*>(
+        dev_.base() + *nvm::root_slot(dev_, nvm::kRootStructure));
+    dir_ = reinterpret_cast<std::uint64_t*>(dev_.base() + root_->dir_off);
+  }
+}
+
+CCEH::Segment* CCEH::make_segment(std::uint64_t depth) {
+  auto* seg = static_cast<Segment*>(pa_.alloc(sizeof(Segment)));
+  seg->local_depth = depth;
+  for (auto& b : seg->buckets) {
+    for (auto& k : b.keys) k = kEmptyKey;
+  }
+  dev_.mark_dirty(seg, sizeof(Segment));
+  dev_.persist_nontxn(seg, sizeof(Segment));
+  return seg;
+}
+
+bool CCEH::insert(std::uint64_t key, std::uint64_t value) {
+  assert(key != kEmptyKey);
+  const std::uint64_t h = mix(key);
+  for (;;) {
+    {
+      std::shared_lock dl(dir_mu_);
+      const std::uint64_t gd = root_->global_depth;
+      std::uint64_t* entry = &dir_[h & ((std::uint64_t{1} << gd) - 1)];
+      auto* seg = reinterpret_cast<Segment*>(aload(entry));
+      std::unique_lock sl(lock_for(seg));
+      // Re-check the route: a concurrent split may have moved the key.
+      if (reinterpret_cast<Segment*>(aload(entry)) != seg) continue;
+
+      const std::uint64_t b0 = (h >> 48) % kBucketsPerSegment;
+      int free_b = -1, free_s = -1;
+      for (int p = 0; p < kProbeBuckets; ++p) {
+        Bucket& b = seg->buckets[(b0 + p) % kBucketsPerSegment];
+        for (int i = 0; i < kSlotsPerBucket; ++i) {
+          const std::uint64_t k = aload(&b.keys[i]);
+          if (k == key) {
+            // Update in place: persist the value before returning
+            // (strict DL).
+            astore(&b.vals[i], value);
+            dev_.mark_dirty(&b.vals[i], 8);
+            dev_.persist_nontxn(&b.vals[i], 8);
+            return false;
+          }
+          if (free_b < 0 &&
+              (k == kEmptyKey ||
+               // Lazy deletion: a stale copy left behind by a split no
+               // longer routes here and its slot is reusable.
+               reinterpret_cast<Segment*>(aload(
+                   &dir_[mix(k) &
+                         ((std::uint64_t{1} << root_->global_depth) - 1)])) !=
+                   seg)) {
+            free_b = (b0 + p) % kBucketsPerSegment;
+            free_s = i;
+          }
+        }
+      }
+      if (free_b >= 0) {
+        Bucket& b = seg->buckets[free_b];
+        // Failure atomicity by ordering: value persisted before the key
+        // that validates the slot (3 persist steps: val, fence, key,
+        // fence — the cost the paper counts against CCEH).
+        astore(&b.vals[free_s], value);
+        dev_.mark_dirty(&b.vals[free_s], 8);
+        dev_.persist_nontxn(&b.vals[free_s], 8);
+        astore(&b.keys[free_s], key);
+        dev_.mark_dirty(&b.keys[free_s], 8);
+        dev_.persist_nontxn(&b.keys[free_s], 8);
+        return true;
+      }
+    }
+    split(h);
+  }
+}
+
+bool CCEH::remove(std::uint64_t key) {
+  const std::uint64_t h = mix(key);
+  std::shared_lock dl(dir_mu_);
+  const std::uint64_t gd = root_->global_depth;
+  std::uint64_t* entry = &dir_[h & ((std::uint64_t{1} << gd) - 1)];
+  auto* seg = reinterpret_cast<Segment*>(aload(entry));
+  std::unique_lock sl(lock_for(seg));
+  if (reinterpret_cast<Segment*>(aload(entry)) != seg) return remove(key);
+
+  const std::uint64_t b0 = (h >> 48) % kBucketsPerSegment;
+  for (int p = 0; p < kProbeBuckets; ++p) {
+    Bucket& b = seg->buckets[(b0 + p) % kBucketsPerSegment];
+    for (int i = 0; i < kSlotsPerBucket; ++i) {
+      if (aload(&b.keys[i]) == key) {
+        astore(&b.keys[i], kEmptyKey);
+        dev_.mark_dirty(&b.keys[i], 8);
+        dev_.persist_nontxn(&b.keys[i], 8);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::optional<std::uint64_t> CCEH::find(std::uint64_t key) {
+  const std::uint64_t h = mix(key);
+  std::shared_lock dl(dir_mu_);
+  const std::uint64_t gd = root_->global_depth;
+  auto* seg = reinterpret_cast<Segment*>(
+      aload(&dir_[h & ((std::uint64_t{1} << gd) - 1)]));
+  const std::uint64_t b0 = (h >> 48) % kBucketsPerSegment;
+  // Lock-free search: key / value / key re-read detects racing writers.
+  for (int p = 0; p < kProbeBuckets; ++p) {
+    Bucket& b = seg->buckets[(b0 + p) % kBucketsPerSegment];
+    for (int i = 0; i < kSlotsPerBucket; ++i) {
+      for (;;) {
+        const std::uint64_t k1 = aload(&b.keys[i]);
+        if (k1 != key) break;
+        const std::uint64_t v = aload(&b.vals[i]);
+        if (aload(&b.keys[i]) == key) return v;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void CCEH::split(std::uint64_t h) {
+  std::unique_lock dl(dir_mu_);  // exclusive: may double the directory
+  const std::uint64_t gd = root_->global_depth;
+  const std::uint64_t idx = h & ((std::uint64_t{1} << gd) - 1);
+  auto* seg = reinterpret_cast<Segment*>(aload(&dir_[idx]));
+  std::unique_lock sl(lock_for(seg));
+  const std::uint64_t ld = seg->local_depth;
+
+  if (ld == gd) {
+    // Directory doubling: build, persist, then publish via the root.
+    const std::size_t n = std::size_t{1} << gd;
+    auto* fresh = static_cast<std::uint64_t*>(
+        pa_.alloc(2 * n * sizeof(std::uint64_t)));
+    // LSB directory indexing: the new half mirrors the old half.
+    for (std::size_t i = 0; i < n; ++i) {
+      fresh[i] = dir_[i];
+      fresh[n + i] = dir_[i];
+    }
+    dev_.mark_dirty(fresh, 2 * n * sizeof(std::uint64_t));
+    dev_.persist_nontxn(fresh, 2 * n * sizeof(std::uint64_t));
+    std::uint64_t* old_dir = dir_;
+    dir_ = fresh;
+    root_->dir_off = static_cast<std::uint64_t>(
+        reinterpret_cast<std::byte*>(fresh) - dev_.base());
+    root_->global_depth = gd + 1;
+    dev_.mark_dirty(root_, sizeof(Root));
+    dev_.persist_nontxn(root_, sizeof(Root));
+    pa_.free(old_dir);
+    return;
+  }
+
+  // Segment split, crash-ordered: (1) sibling fully persisted, (2) dir
+  // entries flipped and persisted, (3) moved slots cleared lazily (the
+  // insert path treats mis-routed keys as free slots).
+  Segment* sibling = make_segment(ld + 1);
+  for (std::size_t bi = 0; bi < kBucketsPerSegment; ++bi) {
+    Bucket& b = seg->buckets[bi];
+    for (int i = 0; i < kSlotsPerBucket; ++i) {
+      const std::uint64_t k = b.keys[i];
+      if (k == kEmptyKey) continue;
+      if ((mix(k) >> ld) & 1) {
+        sibling->buckets[bi].vals[i] = b.vals[i];
+        sibling->buckets[bi].keys[i] = k;
+      }
+    }
+  }
+  seg->local_depth = ld + 1;
+  dev_.mark_dirty(&seg->local_depth, 8);
+  dev_.mark_dirty(sibling, sizeof(Segment));
+  dev_.persist_nontxn(sibling, sizeof(Segment));
+  dev_.persist_nontxn(&seg->local_depth, 8);
+
+  const std::uint64_t low = idx & ((std::uint64_t{1} << ld) - 1);
+  for (std::uint64_t i = low; i < (std::uint64_t{1} << gd);
+       i += (std::uint64_t{1} << ld)) {
+    if ((i >> ld) & 1) {
+      astore(&dir_[i], reinterpret_cast<std::uint64_t>(sibling));
+      dev_.mark_dirty(&dir_[i], 8);
+    }
+  }
+  dev_.persist_nontxn(dir_, (std::uint64_t{1} << gd) * sizeof(std::uint64_t));
+}
+
+}  // namespace bdhtm::hash

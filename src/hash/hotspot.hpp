@@ -1,0 +1,58 @@
+// Lightweight DRAM access-pattern tracker (Spash §4.3): distinguishes hot
+// from cold keys so the table can keep hot data cached and proactively
+// write cold data back at XPLine granularity. Sampled saturating counters
+// with periodic decay.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace bdhtm::hash {
+
+class HotspotDetector {
+ public:
+  explicit HotspotDetector(std::uint32_t hot_threshold = 8)
+      : threshold_(hot_threshold),
+        counts_(std::make_unique<std::atomic<std::uint8_t>[]>(kBuckets)) {}
+
+  /// Record an access to `key_hash`; returns whether the key is hot.
+  bool touch(std::uint64_t key_hash) {
+    auto& c = counts_[index(key_hash)];
+    std::uint8_t v = c.load(std::memory_order_relaxed);
+    if (v < 255) c.store(v + 1, std::memory_order_relaxed);
+    maybe_decay();
+    return std::uint32_t{v} + 1 >= threshold_;
+  }
+
+  bool is_hot(std::uint64_t key_hash) const {
+    return counts_[index(key_hash)].load(std::memory_order_relaxed) >=
+           threshold_;
+  }
+
+ private:
+  static constexpr std::size_t kBuckets = 1 << 16;
+  static constexpr std::uint64_t kDecayPeriod = 1 << 18;
+
+  static std::size_t index(std::uint64_t h) {
+    return splitmix64(h) & (kBuckets - 1);
+  }
+
+  void maybe_decay() {
+    if (ops_.fetch_add(1, std::memory_order_relaxed) % kDecayPeriod != 0) {
+      return;
+    }
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      const std::uint8_t v = counts_[i].load(std::memory_order_relaxed);
+      counts_[i].store(v / 2, std::memory_order_relaxed);
+    }
+  }
+
+  std::uint32_t threshold_;
+  std::atomic<std::uint64_t> ops_{0};
+  std::unique_ptr<std::atomic<std::uint8_t>[]> counts_;
+};
+
+}  // namespace bdhtm::hash

@@ -1,0 +1,258 @@
+#include "hash/plush.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "nvm/roots.hpp"
+
+namespace bdhtm::hash {
+namespace {
+std::uint64_t mix(std::uint64_t key) { return splitmix64(key); }
+// Per-level bucket hash: deeper levels re-salt so a hot root bucket does
+// not map onto one bucket chain all the way down.
+std::uint64_t level_hash(std::uint64_t key, int level) {
+  return splitmix64(key + 0x9e3779b97f4a7c15ULL * (level + 1));
+}
+
+std::uint64_t aload(const std::uint64_t* p) {
+  return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+}
+void astore(std::uint64_t* p, std::uint64_t v) {
+  __atomic_store_n(p, v, __ATOMIC_RELEASE);
+}
+}  // namespace
+
+Plush::Plush(nvm::Device& dev, alloc::PAllocator& pa, Mode mode,
+             int root_buckets_log2, int levels)
+    : dev_(dev), pa_(pa) {
+  if (mode == Mode::kFormat) {
+    assert(levels >= 2 && levels <= 8);
+    root_ = static_cast<Root*>(pa_.alloc(sizeof(Root)));
+    root_->n_levels = levels;
+    root_->root_buckets = std::uint64_t{1} << root_buckets_log2;
+    for (int l = 1; l < levels; ++l) {
+      const std::size_t n = root_->root_buckets;
+      std::size_t count = n;
+      for (int i = 0; i < l; ++i) count *= kFanout;
+      auto* arr = static_cast<Bucket*>(pa_.alloc(count * sizeof(Bucket)));
+      for (std::size_t i = 0; i < count; ++i) arr[i].count = 0;
+      dev_.mark_dirty(arr, count * sizeof(Bucket));
+      dev_.persist_nontxn(arr, count * sizeof(Bucket));
+      root_->levels_off[l] = static_cast<std::uint64_t>(
+          reinterpret_cast<std::byte*>(arr) - dev_.base());
+    }
+    // WAL sized to cover everything level 0 can hold, with slack.
+    root_->log_capacity = root_->root_buckets * kEntriesPerBucket * 4;
+    auto* log = static_cast<LogEntry*>(
+        pa_.alloc(root_->log_capacity * sizeof(LogEntry)));
+    root_->log_off = static_cast<std::uint64_t>(
+        reinterpret_cast<std::byte*>(log) - dev_.base());
+    root_->log_head = 0;
+    root_->log_tail = 0;
+    dev_.mark_dirty(root_, sizeof(Root));
+    dev_.persist_nontxn(root_, sizeof(Root));
+    nvm::publish_root(dev_, nvm::kRootStructure2,
+                      static_cast<std::uint64_t>(
+                          reinterpret_cast<std::byte*>(root_) - dev_.base()));
+  } else {
+    root_ = reinterpret_cast<Root*>(
+        dev_.base() + *nvm::root_slot(dev_, nvm::kRootStructure2));
+  }
+  log_ = reinterpret_cast<LogEntry*>(dev_.base() + root_->log_off);
+  level0_ = std::make_unique<Bucket[]>(root_->root_buckets);
+  for (std::size_t i = 0; i < root_->root_buckets; ++i) {
+    level0_[i].count = 0;
+  }
+  l0_locks_ = std::make_unique<std::mutex[]>(root_->root_buckets);
+}
+
+std::size_t Plush::buckets_at(int level) const {
+  std::size_t n = root_->root_buckets;
+  for (int i = 0; i < level; ++i) n *= kFanout;
+  return n;
+}
+
+Plush::Bucket* Plush::level_bucket(int level, std::uint64_t index) {
+  if (level == 0) return &level0_[index];
+  auto* arr = reinterpret_cast<Bucket*>(dev_.base() +
+                                        root_->levels_off[level]);
+  return &arr[index];
+}
+
+void Plush::append_log(std::uint64_t key, std::uint64_t val) {
+  std::scoped_lock lk(log_mu_);
+  if (root_->log_head - root_->log_tail >= root_->log_capacity) {
+    checkpoint();
+  }
+  LogEntry& e = log_[root_->log_head % root_->log_capacity];
+  e.key = key;
+  e.val = val;
+  dev_.mark_dirty(&e, sizeof(e));
+  dev_.persist_nontxn(&e, sizeof(e));  // the WAL persist on every write
+  root_->log_head++;
+  dev_.mark_dirty(&root_->log_head, 8);
+  dev_.persist_nontxn(&root_->log_head, 8);
+}
+
+void Plush::push_down(int level, std::uint64_t key, std::uint64_t val) {
+  // Caller holds structure_mu_; deep appends are single-writer.
+  const int target = level + 1;
+  if (target >= static_cast<int>(root_->n_levels)) {
+    throw std::runtime_error("plush: bottom level overflow (size the "
+                             "table for the workload)");
+  }
+  Bucket* b = level_bucket(target, level_hash(key, target) %
+                                       buckets_at(target));
+  if (aload(&b->count) == kEntriesPerBucket) {
+    // Compact first: within a bucket, only the newest entry per key is
+    // live; duplicates from repeated updates of hot keys are dropped.
+    std::uint64_t ck[kEntriesPerBucket], cv[kEntriesPerBucket];
+    int cn = 0;
+    for (int i = kEntriesPerBucket - 1; i >= 0; --i) {  // newest first
+      bool seen = false;
+      for (int j = 0; j < cn; ++j) {
+        if (ck[j] == b->keys[i]) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        ck[cn] = b->keys[i];
+        cv[cn] = b->vals[i];
+        ++cn;
+      }
+    }
+    if (cn < kEntriesPerBucket) {
+      // Rewrite compacted, oldest-first to preserve newest-wins order.
+      for (int i = 0; i < cn; ++i) {
+        b->keys[i] = ck[cn - 1 - i];
+        b->vals[i] = cv[cn - 1 - i];
+      }
+      dev_.mark_dirty(b, sizeof(Bucket));
+      dev_.persist_nontxn(b, sizeof(Bucket));
+      astore(&b->count, cn);
+      dev_.mark_dirty(&b->count, 8);
+      dev_.persist_nontxn(&b->count, 8);
+    } else {
+      // Genuinely full of distinct keys: migrate one level further.
+      for (int i = 0; i < kEntriesPerBucket; ++i) {
+        push_down(target, b->keys[i], b->vals[i]);
+      }
+      astore(&b->count, 0);
+      dev_.mark_dirty(&b->count, 8);
+      dev_.persist_nontxn(&b->count, 8);
+    }
+  }
+  const std::uint64_t c = aload(&b->count);
+  b->keys[c] = key;
+  b->vals[c] = val;
+  dev_.mark_dirty(&b->keys[c], 8);
+  dev_.mark_dirty(&b->vals[c], 8);
+  dev_.persist_nontxn(&b->keys[c], 8);  // entry durable before the count
+  astore(&b->count, c + 1);
+  dev_.mark_dirty(&b->count, 8);
+  dev_.persist_nontxn(&b->count, 8);
+}
+
+void Plush::apply(std::uint64_t key, std::uint64_t val) {
+  const std::uint64_t idx = mix(key) % root_->root_buckets;
+  for (;;) {
+    {
+      std::scoped_lock lk(l0_locks_[idx]);
+      Bucket& b = level0_[idx];
+      if (b.count < kEntriesPerBucket) {
+        b.keys[b.count] = key;
+        b.vals[b.count] = val;
+        b.count++;
+        return;
+      }
+    }
+    // Bucket full: migrate it under the structure lock (lock order:
+    // structure_mu_ before the bucket lock).
+    std::scoped_lock slk(structure_mu_);
+    std::scoped_lock lk(l0_locks_[idx]);
+    Bucket& b = level0_[idx];
+    if (b.count == kEntriesPerBucket) {
+      for (int i = 0; i < kEntriesPerBucket; ++i) {
+        push_down(0, b.keys[i], b.vals[i]);
+      }
+      b.count = 0;
+    }
+  }
+}
+
+bool Plush::insert(std::uint64_t key, std::uint64_t value) {
+  assert(value != kTombstone);
+  const bool existed = find(key).has_value();
+  append_log(key, value);
+  apply(key, value);
+  return !existed;
+}
+
+bool Plush::remove(std::uint64_t key) {
+  if (!find(key).has_value()) return false;
+  append_log(key, kTombstone);
+  apply(key, kTombstone);
+  return true;
+}
+
+bool Plush::lookup_bucket(const Bucket& b, std::uint64_t key,
+                          std::uint64_t* out) const {
+  const std::uint64_t c = aload(&b.count);
+  for (std::uint64_t i = c; i-- > 0;) {  // newest first
+    if (b.keys[i] == key) {
+      *out = b.vals[i];
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::uint64_t> Plush::find(std::uint64_t key) {
+  const std::uint64_t h = mix(key);
+  std::uint64_t v;
+  {
+    const std::uint64_t idx = h % root_->root_buckets;
+    std::scoped_lock lk(l0_locks_[idx]);
+    if (lookup_bucket(level0_[idx], key, &v)) {
+      return v == kTombstone ? std::nullopt : std::optional(v);
+    }
+  }
+  for (int l = 1; l < static_cast<int>(root_->n_levels); ++l) {
+    dev_.account_read();  // each probed level is an NVM access
+    Bucket* b = level_bucket(l, level_hash(key, l) % buckets_at(l));
+    if (lookup_bucket(*b, key, &v)) {
+      return v == kTombstone ? std::nullopt : std::optional(v);
+    }
+  }
+  return std::nullopt;
+}
+
+void Plush::checkpoint() {
+  // Caller holds log_mu_. Push all DRAM-resident data down, then
+  // truncate the log.
+  std::scoped_lock slk(structure_mu_);
+  for (std::size_t idx = 0; idx < root_->root_buckets; ++idx) {
+    std::scoped_lock lk(l0_locks_[idx]);
+    Bucket& b = level0_[idx];
+    for (std::uint64_t i = 0; i < b.count; ++i) {
+      push_down(0, b.keys[i], b.vals[i]);
+    }
+    b.count = 0;
+  }
+  root_->log_tail = root_->log_head;
+  dev_.mark_dirty(&root_->log_tail, 8);
+  dev_.persist_nontxn(&root_->log_tail, 8);
+}
+
+void Plush::recover() {
+  // Replay the un-truncated log suffix in order; shallow-wins semantics
+  // make re-applying already-migrated entries harmless.
+  for (std::uint64_t s = root_->log_tail; s < root_->log_head; ++s) {
+    const LogEntry& e = log_[s % root_->log_capacity];
+    apply(e.key, e.val);
+  }
+}
+
+}  // namespace bdhtm::hash

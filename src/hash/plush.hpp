@@ -1,0 +1,89 @@
+// Plush (Vogel et al. [51]; paper §4.3 baseline): a write-optimized,
+// log-structured layered hash table.
+//
+// The root level lives in DRAM; each deeper level lives in NVM and is a
+// multiple (fanout) of the previous level's size. Writes append to the
+// root bucket; overflowing buckets are re-hashed and appended into the
+// next level. Failure atomicity comes from a write-ahead log: every
+// mutation appends a persisted WAL entry before returning (strict DL —
+// the critical-path cost Fig. 6 charges Plush with). When the WAL fills,
+// all DRAM-resident data is migrated down (checkpoint) and the log is
+// truncated. Under skewed workloads the shared log serializes writers —
+// the contention the paper observes in Fig. 6(c).
+//
+// Lookups probe level 0 first, then deeper levels; within a bucket the
+// newest (right-most) matching entry wins, and shallower levels are
+// newer than deeper ones. Removes append tombstones.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "alloc/pallocator.hpp"
+#include "nvm/device.hpp"
+
+namespace bdhtm::hash {
+
+class Plush {
+ public:
+  enum class Mode { kFormat, kAttach };
+
+  Plush(nvm::Device& dev, alloc::PAllocator& pa, Mode mode = Mode::kFormat,
+        int root_buckets_log2 = 6, int levels = 4);
+
+  bool insert(std::uint64_t key, std::uint64_t value);
+  bool remove(std::uint64_t key);
+  std::optional<std::uint64_t> find(std::uint64_t key);
+
+  /// Post-crash: replay the WAL over the NVM levels (the DRAM root is
+  /// lost; its contents are exactly the un-truncated log suffix).
+  void recover();
+
+  std::uint64_t nvm_bytes() const { return pa_.bytes_in_use(); }
+
+  static constexpr int kEntriesPerBucket = 32;
+  static constexpr int kFanout = 4;
+  static constexpr std::uint64_t kTombstone = ~std::uint64_t{0};
+
+ private:
+  struct Bucket {
+    std::uint64_t count;
+    std::uint64_t keys[kEntriesPerBucket];
+    std::uint64_t vals[kEntriesPerBucket];
+  };
+  struct LogEntry {
+    std::uint64_t key;
+    std::uint64_t val;
+  };
+  struct Root {  // persistent metadata
+    std::uint64_t levels_off[8];  // per-level bucket arrays
+    std::uint64_t n_levels;
+    std::uint64_t root_buckets;   // level-0 bucket count
+    std::uint64_t log_off;
+    std::uint64_t log_capacity;
+    std::uint64_t log_head;       // persisted on append (monotone)
+    std::uint64_t log_tail;       // persisted on checkpoint
+  };
+
+  std::size_t buckets_at(int level) const;
+  Bucket* level_bucket(int level, std::uint64_t index);
+  void append_log(std::uint64_t key, std::uint64_t val);
+  void push_down(int level, std::uint64_t key, std::uint64_t val);
+  void checkpoint();  // migrate all of level 0, truncate the log
+  bool lookup_bucket(const Bucket& b, std::uint64_t key,
+                     std::uint64_t* out) const;
+  void apply(std::uint64_t key, std::uint64_t val);
+
+  nvm::Device& dev_;
+  alloc::PAllocator& pa_;
+  Root* root_ = nullptr;
+  std::unique_ptr<Bucket[]> level0_;        // DRAM
+  std::unique_ptr<std::mutex[]> l0_locks_;  // per level-0 bucket
+  std::mutex log_mu_;                       // the serializing WAL lock
+  std::mutex structure_mu_;                 // checkpoint exclusivity
+  LogEntry* log_ = nullptr;                 // NVM ring
+};
+
+}  // namespace bdhtm::hash

@@ -1,0 +1,356 @@
+#include "htm/engine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/defs.hpp"
+#include "common/rng.hpp"
+#include "common/threading.hpp"
+#include "nvm/device.hpp"
+
+namespace bdhtm::htm {
+namespace {
+
+// ---- Versioned stripe-lock table (TL2) ----
+//
+// Stripes are keyed by cache line so sub-word accesses to one line
+// conflict, matching real HTM's line-granular conflict detection.
+// Encoding: bit 0 = locked, bits 63..1 = version (shifted left by one).
+
+constexpr std::size_t kStripeBits = 18;
+constexpr std::size_t kStripeCount = std::size_t{1} << kStripeBits;
+
+std::atomic<std::uint64_t> g_stripes[kStripeCount];
+std::atomic<std::uint64_t> g_clock{0};
+
+EngineConfig g_cfg;
+
+inline std::atomic<std::uint64_t>& stripe_of(std::uintptr_t word_addr) {
+  const std::uint64_t line = word_addr >> 6;
+  return g_stripes[splitmix64(line) & (kStripeCount - 1)];
+}
+
+constexpr bool is_locked(std::uint64_t v) { return (v & 1) != 0; }
+constexpr std::uint64_t version_of(std::uint64_t v) { return v >> 1; }
+constexpr std::uint64_t make_version(std::uint64_t ver) { return ver << 1; }
+
+struct alignas(kCacheLineSize) StatSlot {
+  TxStats s;
+};
+StatSlot g_stats[kMaxThreads];
+
+}  // namespace
+
+namespace detail {
+
+// Per-thread transaction context, reused across transactions to avoid
+// allocation on the critical path.
+class TxCtx {
+ public:
+  bool active = false;
+  std::uint64_t rv = 0;  // read version (TL2 snapshot)
+  std::vector<ReadEntry> read_set;
+  std::vector<WriteEntry> write_set;  // append order; lookup is linear —
+                                      // HTM-friendly txns write few words
+  Rng rng{0x517eful};
+  // Simulated MEMTYPE suppression credits: the paper's non-transactional
+  // pre-walk mitigated the anomaly for a while, not just one attempt.
+  int prewalk_credits = 0;
+  int tid = -1;
+
+  WriteEntry* find_write(std::uintptr_t word_addr) {
+    // Newest-first so read-after-write sees the latest buffered value.
+    for (auto it = write_set.rbegin(); it != write_set.rend(); ++it) {
+      if (it->word_addr == word_addr) return &*it;
+    }
+    return nullptr;
+  }
+};
+
+TxCtx& ctx() {
+  thread_local TxCtx c;
+  if (c.tid < 0) {
+    c.tid = thread_id();
+    c.rng.reseed(splitmix64(g_cfg.seed + static_cast<std::uint64_t>(c.tid)));
+  }
+  return c;
+}
+
+namespace {
+inline TxStats& my_stats(TxCtx& c) { return g_stats[c.tid].s; }
+
+[[noreturn]] void abort_with(TxCtx& c, unsigned status) {
+  (void)c;
+  throw AbortException{status};
+}
+}  // namespace
+
+unsigned tx_begin(TxCtx& c) {
+  assert(!c.active && "nested transactions are not supported (TSX flattens;"
+                      " bdhtm structures never nest)");
+  // Injected aborts model TSX's transient failures; they fire before any
+  // work, as most real transient aborts do.
+  if (g_cfg.memtype_abort_prob > 0.0) {
+    if (c.prewalk_credits > 0) {
+      --c.prewalk_credits;  // pre-walked recently: anomaly suppressed
+    } else if (c.rng.next_double() < g_cfg.memtype_abort_prob) {
+      my_stats(c).aborts_memtype++;
+      return kAbortMemtype | kAbortRetry;
+    }
+  }
+  if (g_cfg.spurious_abort_prob > 0.0 &&
+      c.rng.next_double() < g_cfg.spurious_abort_prob) {
+    my_stats(c).aborts_spurious++;
+    return kAbortSpurious | kAbortRetry;
+  }
+  c.active = true;
+  c.rv = g_clock.load(std::memory_order_acquire);
+  c.read_set.clear();
+  c.write_set.clear();
+  return 0;
+}
+
+void tx_cleanup(TxCtx& c) {
+  c.active = false;
+  c.read_set.clear();
+  c.write_set.clear();
+}
+
+std::uint64_t tx_load_word(TxCtx& c, std::uintptr_t word_addr) {
+  assert(c.active);
+  if (WriteEntry* w = c.find_write(word_addr)) return w->value;
+
+  auto& stripe = stripe_of(word_addr);
+  const std::uint64_t v1 = stripe.load(std::memory_order_acquire);
+  if (is_locked(v1) || version_of(v1) > c.rv) {
+    abort_with(c, kAbortConflict | kAbortRetry);
+  }
+  const std::uint64_t val =
+      __atomic_load_n(reinterpret_cast<const std::uint64_t*>(word_addr),
+                      __ATOMIC_ACQUIRE);
+  const std::uint64_t v2 = stripe.load(std::memory_order_acquire);
+  if (v2 != v1) {
+    abort_with(c, kAbortConflict | kAbortRetry);
+  }
+  c.read_set.push_back({&stripe, v1});
+  if (c.read_set.size() > g_cfg.read_cap_entries) {
+    abort_with(c, kAbortCapacity);
+  }
+  return val;
+}
+
+void tx_store_word(TxCtx& c, std::uintptr_t word_addr, std::uint64_t value,
+                   nvm::Device* dev) {
+  assert(c.active);
+  if (WriteEntry* w = c.find_write(word_addr)) {
+    w->value = value;
+    if (dev != nullptr) w->dev = dev;
+    return;
+  }
+  c.write_set.push_back({word_addr, value, dev});
+  // Approximate line-count capacity with entry count; HTM-sized
+  // transactions touch nearly distinct lines anyway.
+  if (c.write_set.size() > g_cfg.write_cap_lines) {
+    abort_with(c, kAbortCapacity);
+  }
+}
+
+unsigned tx_commit(TxCtx& c) {
+  assert(c.active);
+  if (c.write_set.empty()) {
+    // Read-only transactions were validated at each load (TL2 invariant:
+    // all reads consistent at rv); nothing to publish.
+    tx_cleanup(c);
+    my_stats(c).commits++;
+    return kCommitted;
+  }
+
+  // Acquire stripe locks for the write set. Stripes may repeat (two words
+  // in one line); lock each distinct stripe once, in address order to
+  // avoid livelock between symmetric committers.
+  thread_local std::vector<std::atomic<std::uint64_t>*> locked;
+  thread_local std::vector<std::atomic<std::uint64_t>*> to_lock;
+  locked.clear();
+  to_lock.clear();
+  for (const auto& w : c.write_set) to_lock.push_back(&stripe_of(w.word_addr));
+  std::sort(to_lock.begin(), to_lock.end());
+  to_lock.erase(std::unique(to_lock.begin(), to_lock.end()), to_lock.end());
+
+  auto release_all = [&](bool restore) {
+    for (auto* s : locked) {
+      if (restore) {
+        // Unlock without changing the version.
+        s->fetch_and(~std::uint64_t{1}, std::memory_order_release);
+      }
+    }
+    locked.clear();
+  };
+
+  for (auto* s : to_lock) {
+    std::uint64_t cur = s->load(std::memory_order_relaxed);
+    int spins = 0;
+    for (;;) {
+      if (!is_locked(cur) &&
+          s->compare_exchange_weak(cur, cur | 1, std::memory_order_acquire)) {
+        locked.push_back(s);
+        break;
+      }
+      if (++spins > 64) {
+        release_all(true);
+        tx_cleanup(c);
+        my_stats(c).aborts_conflict++;
+        return kAbortConflict | kAbortRetry;
+      }
+      cur = s->load(std::memory_order_relaxed);
+    }
+  }
+
+  const std::uint64_t wv = g_clock.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+  // Validate the read set: every stripe must still hold the version we
+  // read, unless we hold its lock ourselves (version bits still compared).
+  for (const auto& r : c.read_set) {
+    const std::uint64_t cur = r.stripe->load(std::memory_order_acquire);
+    const bool self_locked =
+        is_locked(cur) && std::binary_search(to_lock.begin(), to_lock.end(),
+                                             r.stripe);
+    if ((is_locked(cur) && !self_locked) ||
+        version_of(cur) != version_of(r.version)) {
+      release_all(true);
+      tx_cleanup(c);
+      my_stats(c).aborts_conflict++;
+      return kAbortConflict | kAbortRetry;
+    }
+  }
+
+  // Publish the redo log, then release stripes at the new version.
+  for (const auto& w : c.write_set) {
+    __atomic_store_n(reinterpret_cast<std::uint64_t*>(w.word_addr), w.value,
+                     __ATOMIC_RELEASE);
+    if (w.dev != nullptr) {
+      w.dev->mark_dirty(reinterpret_cast<void*>(w.word_addr), 8);
+    }
+  }
+  for (auto* s : locked) {
+    s->store(make_version(wv), std::memory_order_release);
+  }
+  locked.clear();
+  tx_cleanup(c);
+  my_stats(c).commits++;
+  return kCommitted;
+}
+
+std::uint64_t nontx_load_word(std::uintptr_t word_addr) {
+  auto& stripe = stripe_of(word_addr);
+  for (;;) {
+    const std::uint64_t v1 = stripe.load(std::memory_order_acquire);
+    const std::uint64_t val =
+        __atomic_load_n(reinterpret_cast<const std::uint64_t*>(word_addr),
+                        __ATOMIC_ACQUIRE);
+    const std::uint64_t v2 = stripe.load(std::memory_order_acquire);
+    if (v1 == v2 && !is_locked(v1)) return val;
+  }
+}
+
+void nontx_store_word(std::uintptr_t word_addr, std::uint64_t value) {
+  auto& stripe = stripe_of(word_addr);
+  // Lock the stripe, publish, release at a fresh version so transactions
+  // that read the line fail validation — the coherence-induced abort.
+  std::uint64_t cur = stripe.load(std::memory_order_relaxed);
+  for (;;) {
+    if (!is_locked(cur) && stripe.compare_exchange_weak(
+                               cur, cur | 1, std::memory_order_acquire)) {
+      break;
+    }
+    cur = stripe.load(std::memory_order_relaxed);
+  }
+  __atomic_store_n(reinterpret_cast<std::uint64_t*>(word_addr), value,
+                   __ATOMIC_RELEASE);
+  const std::uint64_t wv = g_clock.fetch_add(1, std::memory_order_acq_rel) + 1;
+  stripe.store(make_version(wv), std::memory_order_release);
+}
+
+bool nontx_cas_word(std::uintptr_t word_addr, std::uint64_t expected,
+                    std::uint64_t desired) {
+  auto& stripe = stripe_of(word_addr);
+  std::uint64_t cur = stripe.load(std::memory_order_relaxed);
+  for (;;) {
+    if (!is_locked(cur) && stripe.compare_exchange_weak(
+                               cur, cur | 1, std::memory_order_acquire)) {
+      break;
+    }
+    cur = stripe.load(std::memory_order_relaxed);
+  }
+  const std::uint64_t observed =
+      __atomic_load_n(reinterpret_cast<const std::uint64_t*>(word_addr),
+                      __ATOMIC_ACQUIRE);
+  bool ok = observed == expected;
+  if (ok) {
+    __atomic_store_n(reinterpret_cast<std::uint64_t*>(word_addr), desired,
+                     __ATOMIC_RELEASE);
+    const std::uint64_t wv =
+        g_clock.fetch_add(1, std::memory_order_acq_rel) + 1;
+    stripe.store(make_version(wv), std::memory_order_release);
+  } else {
+    stripe.fetch_and(~std::uint64_t{1}, std::memory_order_release);
+  }
+  return ok;
+}
+
+void note_abort(TxCtx& c, unsigned status) {
+  TxStats& s = my_stats(c);
+  if (status & kAbortPersist) {
+    s.aborts_persist++;
+  } else if (status & kAbortExplicit) {
+    s.aborts_explicit++;
+  } else if (status & kAbortCapacity) {
+    s.aborts_capacity++;
+  } else if (status & kAbortConflict) {
+    s.aborts_conflict++;
+  } else if (status & kAbortMemtype) {
+    s.aborts_memtype++;
+  } else {
+    s.aborts_spurious++;
+  }
+}
+
+}  // namespace detail
+
+void configure(const EngineConfig& cfg) { g_cfg = cfg; }
+const EngineConfig& config() { return g_cfg; }
+
+TxStats collect_stats() {
+  TxStats out;
+  for (const auto& slot : g_stats) {
+    out.commits += slot.s.commits;
+    out.aborts_conflict += slot.s.aborts_conflict;
+    out.aborts_capacity += slot.s.aborts_capacity;
+    out.aborts_explicit += slot.s.aborts_explicit;
+    out.aborts_persist += slot.s.aborts_persist;
+    out.aborts_memtype += slot.s.aborts_memtype;
+    out.aborts_spurious += slot.s.aborts_spurious;
+    out.fallback_acquisitions += slot.s.fallback_acquisitions;
+  }
+  return out;
+}
+
+void reset_stats() {
+  for (auto& slot : g_stats) slot.s = TxStats{};
+}
+
+void note_fallback() {
+  g_stats[thread_id()].s.fallback_acquisitions++;
+}
+
+bool in_txn() { return detail::ctx().active; }
+
+void abort_current(unsigned status_bits) {
+  detail::TxCtx& c = detail::ctx();
+  assert(c.active);
+  (void)c;
+  throw detail::AbortException{status_bits};
+}
+
+void prewalk_hint() { detail::ctx().prewalk_credits = 16; }
+
+}  // namespace bdhtm::htm

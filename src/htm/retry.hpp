@@ -1,0 +1,62 @@
+// Standard best-effort HTM retry loop with global-lock fallback
+// (paper §2.2): attempt the operation as a transaction subscribed to the
+// elided lock; on persistent aborts, acquire the lock and run the same
+// body non-transactionally. Bodies are templates over the access mode
+// (htm/access.hpp).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "htm/access.hpp"
+#include "htm/engine.hpp"
+
+namespace bdhtm::htm {
+
+inline constexpr std::uint8_t kLockedCode = 0x52;
+
+struct ElideOptions {
+  int max_retries = 16;
+  /// Invoked after a simulated MEMTYPE abort, before the retry — the
+  /// paper's mitigation performs a non-transactional pre-walk here.
+  void (*prewalk)(void*) = nullptr;
+  void* prewalk_ctx = nullptr;
+};
+
+/// Run `body(acc) -> R` atomically. The body may be re-executed; all its
+/// side effects must go through the accessor (rolled back on abort) or be
+/// reset at the top of the body. The body must not throw anything except
+/// via acc.fail() on the fallback path (FallbackRestart propagates to the
+/// caller, who owns algorithmic restarts).
+template <typename R, typename Body>
+R elide(ElidedLock& lock, Body&& body, const ElideOptions& opts = {}) {
+  for (int attempt = 0; attempt < opts.max_retries; ++attempt) {
+    R result{};
+    const unsigned st = run([&](Txn& tx) {
+      lock.subscribe(tx, kLockedCode);
+      TxAccess acc{tx};
+      result = body(acc);
+    });
+    if (st == kCommitted) return result;
+    if ((st & kAbortExplicit) && explicit_code(st) == kLockedCode) {
+      lock.wait_until_free();
+      continue;
+    }
+    if (st & kAbortExplicit) {
+      // Algorithmic abort (e.g. OldSeeNewException): surface it like the
+      // fallback path would, so callers handle one restart mechanism.
+      throw FallbackRestart{explicit_code(st)};
+    }
+    if (st & kAbortMemtype) {
+      if (opts.prewalk != nullptr) opts.prewalk(opts.prewalk_ctx);
+      prewalk_hint();
+      continue;
+    }
+    // conflict / capacity / spurious: plain retry
+  }
+  FallbackGuard guard(lock);
+  NontxAccess acc;
+  return body(acc);
+}
+
+}  // namespace bdhtm::htm

@@ -1,0 +1,207 @@
+#include "nvm/device.hpp"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/spin.hpp"
+#include "common/threading.hpp"
+#include "htm/engine.hpp"
+
+namespace bdhtm::nvm {
+namespace {
+
+std::byte* map_image(std::size_t bytes) {
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (p == MAP_FAILED) throw std::bad_alloc();
+  return static_cast<std::byte*>(p);
+}
+
+}  // namespace
+
+Device::Device(const DeviceConfig& cfg) : cfg_(cfg) {
+  assert(cfg_.capacity % kCacheLineSize == 0);
+  if (cfg_.read_ns | cfg_.write_ns | cfg_.flush_ns | cfg_.fence_ns) {
+    spin_calibrate();
+  }
+  working_ = map_image(cfg_.capacity);
+  media_ = map_image(cfg_.capacity);
+  n_lines_ = cfg_.capacity / kCacheLineSize;
+  line_state_ = std::make_unique<std::atomic<std::uint8_t>[]>(n_lines_);
+  pending_ = std::make_unique<Padded<PendingSlot>[]>(kMaxThreads);
+}
+
+Device::~Device() {
+  ::munmap(working_, cfg_.capacity);
+  ::munmap(media_, cfg_.capacity);
+}
+
+void Device::charge_read() const {
+  if (cfg_.read_ns != 0) spin_for_ns(cfg_.read_ns);
+  stats_.loads.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Device::charge_write(std::size_t n) {
+  if (cfg_.write_ns != 0) spin_for_ns(cfg_.write_ns);
+  stats_.stores.fetch_add(1, std::memory_order_relaxed);
+  stats_.store_bytes.fetch_add(n, std::memory_order_relaxed);
+}
+
+void Device::mark_dirty(const void* addr, std::size_t len) {
+  assert(contains(addr) && len > 0);
+  const std::size_t first = line_of(offset_of(addr));
+  const std::size_t last = line_of(offset_of(addr) + len - 1);
+  for (std::size_t l = first; l <= last; ++l) {
+    // A pending (clwb'd, unfenced) line that is re-dirtied stays pending:
+    // the eventual drain writes back the newer content, as hardware may.
+    std::uint8_t expected = kClean;
+    line_state_[l].compare_exchange_strong(expected, kDirty,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed);
+  }
+}
+
+void Device::clwb(const void* addr) {
+  if (!cfg_.eadr && htm::in_txn()) {
+    // TSX: CLWB/CLFLUSH(OPT) inside a transaction aborts it. This single
+    // check is the incompatibility the whole paper is about.
+    htm::abort_current(htm::kAbortPersist);
+  }
+  clwb_nontxn(addr);
+}
+
+void Device::clwb_nontxn(const void* addr) {
+  stats_.clwbs.fetch_add(1, std::memory_order_relaxed);
+  if (cfg_.eadr) return;  // persistent cache: already durable
+  if (cfg_.flush_ns != 0) spin_for_ns(cfg_.flush_ns);
+  const std::size_t line = line_of(offset_of(addr));
+  std::uint8_t st = line_state_[line].load(std::memory_order_acquire);
+  if (st == kClean) return;  // nothing to write back
+  line_state_[line].store(kPending, std::memory_order_release);
+  pending_[thread_id()].value.lines.push_back(line);
+}
+
+void Device::flush_line_to_media(std::size_t line) {
+  std::memcpy(media_ + line * kCacheLineSize,
+              working_ + line * kCacheLineSize, kCacheLineSize);
+  stats_.media_line_writes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Device::drain() {
+  stats_.fences.fetch_add(1, std::memory_order_relaxed);
+  if (cfg_.eadr) return;
+  if (cfg_.fence_ns != 0) spin_for_ns(cfg_.fence_ns);
+  auto& mine = pending_[thread_id()].value.lines;
+  if (mine.empty()) return;
+  // XPLine accounting: the media is accessed at 256 B granularity, so
+  // adjacent lines flushed in one batch coalesce into one media access.
+  std::sort(mine.begin(), mine.end());
+  mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
+  constexpr std::size_t kLinesPerXP = kXPLineSize / kCacheLineSize;
+  std::size_t last_xp = ~std::size_t{0};
+  for (const std::size_t line : mine) {
+    flush_line_to_media(line);
+    const std::size_t xp = line / kLinesPerXP;
+    if (xp != last_xp) {
+      stats_.media_xpline_writes.fetch_add(1, std::memory_order_relaxed);
+      last_xp = xp;
+    }
+    // Only transition pending -> clean; a concurrent store may have
+    // re-dirtied the line after our copy, and that content must not be
+    // considered durable.
+    std::uint8_t expected = kPending;
+    line_state_[line].compare_exchange_strong(expected, kClean,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed);
+  }
+  mine.clear();
+}
+
+void Device::persist(const void* addr, std::size_t len) {
+  assert(len > 0);
+  const auto* p = reinterpret_cast<const std::byte*>(addr);
+  const std::size_t first = line_of(offset_of(p));
+  const std::size_t last = line_of(offset_of(p) + len - 1);
+  for (std::size_t l = first; l <= last; ++l) {
+    clwb(working_ + l * kCacheLineSize);
+  }
+  drain();
+}
+
+void Device::persist_nontxn(const void* addr, std::size_t len) {
+  assert(len > 0);
+  const auto* p = reinterpret_cast<const std::byte*>(addr);
+  const std::size_t first = line_of(offset_of(p));
+  const std::size_t last = line_of(offset_of(p) + len - 1);
+  for (std::size_t l = first; l <= last; ++l) {
+    clwb_nontxn(working_ + l * kCacheLineSize);
+  }
+  drain();
+}
+
+void Device::flush_range_to_media(const void* addr, std::size_t len) {
+  assert(len > 0);
+  if (cfg_.eadr) return;
+  const std::size_t first = line_of(offset_of(addr));
+  const std::size_t last = line_of(offset_of(addr) + len - 1);
+  constexpr std::size_t kLinesPerXP = kXPLineSize / kCacheLineSize;
+  std::size_t last_xp = ~std::size_t{0};
+  for (std::size_t l = first; l <= last; ++l) {
+    if (cfg_.flush_ns != 0) spin_for_ns(cfg_.flush_ns);
+    stats_.clwbs.fetch_add(1, std::memory_order_relaxed);
+    flush_line_to_media(l);
+    const std::size_t xp = l / kLinesPerXP;
+    if (xp != last_xp) {
+      stats_.media_xpline_writes.fetch_add(1, std::memory_order_relaxed);
+      last_xp = xp;
+    }
+    // Demote pending/dirty to clean; a racing store re-dirties afterwards
+    // and will be covered by its own epoch's flush.
+    line_state_[l].store(kClean, std::memory_order_release);
+  }
+  stats_.fences.fetch_add(1, std::memory_order_relaxed);
+  if (cfg_.fence_ns != 0) spin_for_ns(cfg_.fence_ns);
+}
+
+bool Device::line_is_durable(const void* addr) const {
+  const std::size_t line = line_of(offset_of(addr));
+  if (cfg_.eadr) {
+    return true;  // cache is in the persistence domain
+  }
+  return std::memcmp(working_ + line * kCacheLineSize,
+                     media_ + line * kCacheLineSize, kCacheLineSize) == 0;
+}
+
+void Device::simulate_crash() {
+  // Caller has quiesced workers: no concurrent access below.
+  Rng rng(cfg_.crash_seed);
+  cfg_.crash_seed = splitmix64(cfg_.crash_seed + 1);  // vary across crashes
+  for (std::size_t l = 0; l < n_lines_; ++l) {
+    const std::uint8_t st =
+        line_state_[l].load(std::memory_order_relaxed);
+    if (st == kClean) continue;
+    double survive_p = 0.0;
+    if (cfg_.eadr) {
+      survive_p = 1.0;  // persistent cache: everything written survives
+    } else if (st == kPending) {
+      survive_p = cfg_.pending_survival;
+    } else {
+      survive_p = cfg_.dirty_survival;
+    }
+    if (rng.next_double() < survive_p) {
+      flush_line_to_media(l);  // the line happened to reach the media
+    }
+    line_state_[l].store(kClean, std::memory_order_relaxed);
+  }
+  // After "reboot" the working image IS the media image — including any
+  // lines that were modified without being reported dirty (a structure
+  // that forgets mark_dirty loses those writes, as it should).
+  std::memcpy(working_, media_, cfg_.capacity);
+  for (int t = 0; t < kMaxThreads; ++t) pending_[t].value.lines.clear();
+}
+
+}  // namespace bdhtm::nvm

@@ -1,0 +1,188 @@
+// Simulated NVM device (DESIGN.md §2).
+//
+// The paper's testbed pairs volatile CPU caches with Intel Optane DCPMM.
+// The hazard that motivates all of persistent programming is the split
+// between the *working* state (caches + memory as the CPU sees them) and
+// the *durable* state (what the media holds after power loss): dirty cache
+// lines reach the media in an order chosen by the replacement policy unless
+// the program issues clwb + fence.
+//
+// This device reproduces that split with two images:
+//   - working image: what loads/stores observe,
+//   - media image:   what survives simulate_crash().
+// clwb() queues a line; drain (sfence) copies queued lines to the media.
+// clwb() issued inside a hardware transaction aborts it, exactly like TSX.
+// At a simulated crash, un-flushed dirty lines survive only with a seeded
+// probability, modelling unpredictable cache eviction order; everything
+// else reverts to the media image. In eADR mode (persistent cache) every
+// dirty line survives and clwb is a transaction-neutral no-op.
+//
+// A calibrated latency/bandwidth model (reads ~3x DRAM, flushes ~10x,
+// XPLine-granularity media accounting) is enabled in benchmarks so the
+// cost asymmetries that drive the paper's results are present.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/defs.hpp"
+
+namespace bdhtm::nvm {
+
+struct DeviceConfig {
+  std::size_t capacity = std::size_t{1} << 28;  // 256 MiB default
+  bool eadr = false;  // persistent cache: stores are durable at once
+
+  // Latency model in nanoseconds; 0 disables (unit-test mode).
+  std::uint32_t read_ns = 0;   // charged per modeled NVM load
+  std::uint32_t write_ns = 0;  // charged per modeled NVM store
+  std::uint32_t flush_ns = 0;  // charged per clwb
+  std::uint32_t fence_ns = 0;  // charged per drain/sfence
+
+  // Crash model: survival probability of volatile lines at a crash.
+  double dirty_survival = 0.0;    // dirty, never clwb'd (eviction may have
+                                  // happened to write it back anyway)
+  double pending_survival = 0.5;  // clwb'd but not yet fenced
+  std::uint64_t crash_seed = 0x5eed;
+};
+
+struct DeviceStats {
+  std::atomic<std::uint64_t> loads{0};
+  std::atomic<std::uint64_t> stores{0};
+  std::atomic<std::uint64_t> store_bytes{0};
+  std::atomic<std::uint64_t> clwbs{0};
+  std::atomic<std::uint64_t> fences{0};
+  std::atomic<std::uint64_t> media_line_writes{0};  // 64 B units to media
+  std::atomic<std::uint64_t> media_xpline_writes{0};  // 256 B media accesses
+};
+
+class Device {
+ public:
+  explicit Device(const DeviceConfig& cfg);
+  ~Device();
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  std::byte* base() { return working_; }
+  const std::byte* base() const { return working_; }
+  std::size_t capacity() const { return cfg_.capacity; }
+  bool eadr() const { return cfg_.eadr; }
+  const DeviceConfig& config() const { return cfg_; }
+
+  bool contains(const void* p) const {
+    auto a = reinterpret_cast<std::uintptr_t>(p);
+    auto b = reinterpret_cast<std::uintptr_t>(working_);
+    return a >= b && a < b + cfg_.capacity;
+  }
+
+  // ---- Modeled access path (latency + dirty tracking) ----
+
+  template <typename T>
+  T read(const T* addr) const {
+    charge_read();
+    return *addr;
+  }
+
+  /// Account one modeled NVM load without touching memory — used when the
+  /// actual load must go through the HTM engine for atomicity.
+  void account_read() const { charge_read(); }
+
+  template <typename T>
+  void write(T* addr, T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    *addr = value;
+    mark_dirty(addr, sizeof(T));
+    charge_write(sizeof(T));
+  }
+
+  void write_bytes(void* dst, const void* src, std::size_t n) {
+    std::memcpy(dst, src, n);
+    mark_dirty(dst, n);
+    charge_write(n);
+  }
+
+  /// Record that [addr, addr+len) was modified by a plain store or
+  /// placement-new. Every store into the working image must be reported
+  /// through write()/write_bytes()/mark_dirty() or it will (correctly)
+  /// never survive a crash.
+  void mark_dirty(const void* addr, std::size_t len);
+
+  // ---- Persist instructions ----
+
+  /// Write-back of the line containing addr. Aborts an active hardware
+  /// transaction (TSX semantics) unless the device is in eADR mode.
+  void clwb(const void* addr);
+
+  /// Like clwb but never aborts a transaction — models CLFLUSH issued by a
+  /// background thread that is guaranteed to run outside transactions.
+  void clwb_nontxn(const void* addr);
+
+  /// Store fence: all lines clwb'd by this thread are durable afterwards.
+  void drain();
+
+  /// clwb every line of [addr, addr+len), then drain.
+  void persist(const void* addr, std::size_t len);
+  void persist_nontxn(const void* addr, std::size_t len);
+
+  /// Unconditionally write the range back to the media (no dirty-state
+  /// check): used by the epoch system's background flusher for tracked
+  /// ranges, whose content may have been stored through paths that do
+  /// not mark lines dirty at byte granularity. Caller follows with
+  /// drain() semantics implicitly (the copy is immediate). Never called
+  /// inside a transaction.
+  void flush_range_to_media(const void* addr, std::size_t len);
+
+  // ---- Crash machinery ----
+
+  /// Power-failure simulation. Caller must have quiesced all worker
+  /// threads. Unfenced volatile lines survive per the crash model; all
+  /// other volatile content is lost; afterwards the working image equals
+  /// the media image, as it would after reboot.
+  void simulate_crash();
+
+  /// True durable content of the line containing addr equals its working
+  /// content (used by tests to assert flush behaviour without crashing).
+  bool line_is_durable(const void* addr) const;
+
+  /// Read directly from the media image (what a crash would preserve).
+  template <typename T>
+  T media_read(const T* addr) const {
+    T out;
+    std::memcpy(&out, media_ + offset_of(addr), sizeof(T));
+    return out;
+  }
+
+  DeviceStats& stats() { return stats_; }
+  const DeviceStats& stats() const { return stats_; }
+
+ private:
+  enum LineState : std::uint8_t { kClean = 0, kDirty = 1, kPending = 2 };
+
+  std::size_t offset_of(const void* p) const {
+    return static_cast<std::size_t>(reinterpret_cast<const std::byte*>(p) -
+                                    working_);
+  }
+  void charge_read() const;
+  void charge_write(std::size_t n);
+  void flush_line_to_media(std::size_t line);
+
+  DeviceConfig cfg_;
+  std::byte* working_ = nullptr;
+  std::byte* media_ = nullptr;
+  std::size_t n_lines_ = 0;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> line_state_;
+
+  // clwb'd-but-not-fenced lines, per registered thread.
+  struct PendingSlot {
+    std::vector<std::size_t> lines;
+  };
+  std::unique_ptr<Padded<PendingSlot>[]> pending_;
+
+  mutable DeviceStats stats_;
+};
+
+}  // namespace bdhtm::nvm

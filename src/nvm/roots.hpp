@@ -1,0 +1,36 @@
+// Named persistent root slots. The first 4 KiB of a device are reserved
+// (PAllocator::kHeaderReserve); the epoch system's root occupies offset 0.
+// Offsets 128..255 hold sixteen 8-byte root slots that persistent
+// structures use to find their own metadata (e.g. the PMwCAS descriptor
+// pool, a hash table's directory block) after a crash.
+#pragma once
+
+#include <cstdint>
+
+#include "nvm/device.hpp"
+
+namespace bdhtm::nvm {
+
+inline constexpr int kNumRootSlots = 16;
+
+/// Conventional slot assignments (collisions are the caller's problem;
+/// each device typically hosts one top-level structure).
+enum RootSlot : int {
+  kRootPMwCASPool = 0,
+  kRootStructure = 1,   // primary structure metadata
+  kRootStructure2 = 2,  // secondary (e.g. a log region)
+};
+
+inline std::uint64_t* root_slot(Device& dev, int idx) {
+  return reinterpret_cast<std::uint64_t*>(dev.base() + 128 + 8 * idx);
+}
+
+/// Store `off` in slot `idx` and persist it.
+inline void publish_root(Device& dev, int idx, std::uint64_t off) {
+  std::uint64_t* slot = root_slot(dev, idx);
+  *slot = off;
+  dev.mark_dirty(slot, 8);
+  dev.persist_nontxn(slot, 8);
+}
+
+}  // namespace bdhtm::nvm

@@ -1,0 +1,17 @@
+#include "skiplist/skiplists.hpp"
+
+// Explicit instantiations: every Ops regime of the Fig. 5 family is
+// compiled here once, so template errors surface in the library build.
+namespace bdhtm::skiplist {
+
+template class SkiplistBase<MwcasDramOps>;
+template class SkiplistBase<MwcasNvmNoFlushOps>;
+template class SkiplistBase<HtmNvmNoFlushOps>;
+template class SkiplistBase<PmwcasOps>;
+
+template class SkiplistMap<MwcasDramOps>;
+template class SkiplistMap<MwcasNvmNoFlushOps>;
+template class SkiplistMap<HtmNvmNoFlushOps>;
+template class SkiplistMap<PmwcasOps>;
+
+}  // namespace bdhtm::skiplist

@@ -1,0 +1,41 @@
+#include "sync/htm_mwcas.hpp"
+
+namespace bdhtm::sync {
+
+namespace {
+constexpr std::uint8_t kMismatch = 0x4d;  // explicit abort: expected differs
+constexpr std::uint8_t kLockBusy = 0x4c;  // subscription found lock held
+}  // namespace
+
+HTMMwCAS::Result HTMMwCAS::execute(Word* words, int n) {
+  for (int attempt = 0; attempt < max_retries_; ++attempt) {
+    const unsigned st = htm::run([&](htm::Txn& tx) {
+      lock_.subscribe(tx, kLockBusy);
+      for (int i = 0; i < n; ++i) {
+        if (tx.load(words[i].addr) != words[i].expected) tx.abort(kMismatch);
+      }
+      for (int i = 0; i < n; ++i) tx.store(words[i].addr, words[i].desired);
+    });
+    if (st == htm::kCommitted) return {true, false};
+    if ((st & htm::kAbortExplicit) && htm::explicit_code(st) == kMismatch) {
+      return {false, false};  // genuine CAS failure, not contention
+    }
+    if ((st & htm::kAbortExplicit) && htm::explicit_code(st) == kLockBusy) {
+      lock_.wait_until_free();
+    }
+    // conflict/capacity/spurious: retry, eventually take the fallback
+  }
+  // Fallback: global lock; aborts all subscribed transactions on acquire.
+  htm::FallbackGuard guard(lock_);
+  for (int i = 0; i < n; ++i) {
+    if (htm::nontx_load(words[i].addr) != words[i].expected) {
+      return {false, true};
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    htm::nontx_store(words[i].addr, words[i].desired);
+  }
+  return {true, true};
+}
+
+}  // namespace bdhtm::sync

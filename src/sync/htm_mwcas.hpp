@@ -1,0 +1,53 @@
+// HTM-based multi-word compare-and-swap (paper §2.2, Fig. 4 "HTM-MwCAS").
+//
+// A short hardware transaction reads the N target words, compares them
+// with the expected values, and stores the desired values — no
+// descriptor, no helping, no persistence on the critical path. Best-
+// effort aborts fall back to a global elided lock after a bounded number
+// of retries; plain readers use read(), which goes through the engine's
+// non-transactional interop so they serialize correctly with both the
+// transactional and the fallback path.
+//
+// Words are plain (non-atomic) std::uint64_t accessed exclusively through
+// the HTM engine.
+#pragma once
+
+#include <cstdint>
+
+#include "htm/engine.hpp"
+
+namespace bdhtm::sync {
+
+class HTMMwCAS {
+ public:
+  struct Word {
+    std::uint64_t* addr;
+    std::uint64_t expected;
+    std::uint64_t desired;
+  };
+
+  struct Result {
+    bool success;
+    bool used_fallback;
+  };
+
+  explicit HTMMwCAS(int max_retries = 16) : max_retries_(max_retries) {}
+
+  /// Atomic N-word compare-and-swap. Lock-free in the common case; falls
+  /// back to the internal elided lock under persistent aborts, which
+  /// preserves progress exactly as best-effort HTM requires.
+  Result execute(Word* words, int n);
+
+  /// Read one word, serialized against concurrent execute() calls.
+  std::uint64_t read(const std::uint64_t* addr) {
+    return htm::nontx_load(addr);
+  }
+
+  htm::ElidedLock& fallback_lock() { return lock_; }
+
+ private:
+  htm::ElidedLock lock_;
+  int max_retries_;
+};
+
+}  // namespace bdhtm::sync

@@ -1,0 +1,336 @@
+#include "sync/pmwcas.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+#include "nvm/roots.hpp"
+
+namespace bdhtm::sync {
+namespace {
+constexpr std::uint64_t kStatusMask = ~PMwCAS::kDirtyBit;
+constexpr std::uint64_t kTagMask = kDescTag | kRdcssTag;
+
+// Root slot for the RDCSS-attempt pool (descriptor pool uses
+// nvm::kRootPMwCASPool).
+constexpr int kRootPRdcssPool = 3;
+}  // namespace
+
+PMwCAS::PMwCAS(nvm::Device& dev, alloc::PAllocator& pa, Mode mode,
+               std::size_t pool_capacity)
+    : dev_(dev), capacity_(pool_capacity) {
+  if (mode == Mode::kFormat) {
+    void* dblock = pa.alloc(capacity_ * sizeof(Descriptor));
+    pool_ = new (dblock) Descriptor[capacity_];
+    void* rblock = pa.alloc(kMaxThreads * sizeof(PRdcss));
+    rpool_ = new (rblock) PRdcss[kMaxThreads];
+    dev_.mark_dirty(pool_, capacity_ * sizeof(Descriptor));
+    dev_.mark_dirty(rpool_, kMaxThreads * sizeof(PRdcss));
+    nvm::publish_root(
+        dev_, nvm::kRootPMwCASPool,
+        static_cast<std::uint64_t>(reinterpret_cast<std::byte*>(dblock) -
+                                   dev_.base()));
+    nvm::publish_root(
+        dev_, kRootPRdcssPool,
+        static_cast<std::uint64_t>(reinterpret_cast<std::byte*>(rblock) -
+                                   dev_.base()));
+    dev_.persist_nontxn(pool_, capacity_ * sizeof(Descriptor));
+    dev_.persist_nontxn(rpool_, kMaxThreads * sizeof(PRdcss));
+    free_.reserve(capacity_);
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      free_.push_back(static_cast<std::uint32_t>(i));
+    }
+  } else {
+    pool_ = reinterpret_cast<Descriptor*>(
+        dev_.base() + *nvm::root_slot(dev_, nvm::kRootPMwCASPool));
+    rpool_ = reinterpret_cast<PRdcss*>(
+        dev_.base() + *nvm::root_slot(dev_, kRootPRdcssPool));
+  }
+}
+
+PMwCAS::~PMwCAS() { ebr_.drain_for_teardown(); }
+
+PMwCAS::Descriptor* PMwCAS::acquire() {
+  // Called OUTSIDE any EBR guard. If the pool is momentarily drained
+  // (e.g. a descheduled thread's reservation is stalling reclamation on
+  // a loaded machine), wait guard-free while flushing our own limbo —
+  // once every waiter is guard-free, min-active advances and the pool
+  // refills.
+  for (;;) {
+    {
+      std::scoped_lock lk(free_mu_);
+      if (!free_.empty()) {
+        Descriptor* d = &pool_[free_.back()];
+        free_.pop_back();
+        return d;
+      }
+    }
+    ebr_.flush_mine();
+    std::this_thread::yield();
+  }
+}
+
+void PMwCAS::release(Descriptor* d) {
+  // Persist the Free status so recovery does not reprocess stale content.
+  d->status.store(kFree, std::memory_order_release);
+  dev_.mark_dirty(&d->status, 8);
+  dev_.persist_nontxn(&d->status, 8);
+  std::scoped_lock lk(free_mu_);
+  free_.push_back(static_cast<std::uint32_t>(d - pool_));
+}
+
+void PMwCAS::persist_word(std::atomic<std::uint64_t>* addr) {
+  dev_.mark_dirty(addr, 8);
+  dev_.persist_nontxn(addr, 8);
+}
+
+void PMwCAS::complete_pr(std::uint64_t tagged_r) {
+  PRdcss* r = &rpool_[rdcss_slot(tagged_r)];
+  const std::uint64_t wseq = rdcss_seq(tagged_r);
+  // Seqlock read of the attempt record: if the slot moved on to a newer
+  // attempt, tagged_r is extinct (it was removed from its word and the
+  // word persisted before the slot was reused), so there is nothing to
+  // do and any CAS below would fail anyway.
+  if (r->seq.load(std::memory_order_acquire) != wseq) return;
+  const std::uint64_t addr_off = r->addr_off;
+  const std::uint64_t expected_val = r->expected;
+  const std::uint64_t parent_off = r->parent_off;
+  if (r->seq.load(std::memory_order_acquire) != wseq) return;
+
+  auto* parent = reinterpret_cast<Descriptor*>(dev_.base() + parent_off);
+  const std::uint64_t s =
+      parent->status.load(std::memory_order_acquire) & kStatusMask;
+  const std::uint64_t v =
+      s == kUndecided ? (tagged(parent) | kDirtyBit) : expected_val;
+  auto* addr = word_at(addr_off);
+  std::uint64_t e = tagged_r;
+  addr->compare_exchange_strong(e, v, std::memory_order_acq_rel);
+  // Post-condition: *addr != tagged_r — either our CAS won or a racing
+  // complete_pr did; only completes transition a word out of tagged_r.
+}
+
+std::uint64_t PMwCAS::read(std::atomic<std::uint64_t>* addr) {
+  EbrDomain::Guard guard(ebr_);
+  for (;;) {
+    std::uint64_t v = addr->load(std::memory_order_acquire);
+    if (is_rdcss(v)) {
+      complete_pr(v);
+      continue;
+    }
+    if (v & kDirtyBit) {
+      // Flush-before-use: the value is visible but not yet durable; a
+      // reader acting on it could otherwise observe state that a crash
+      // un-happens (dirty-read anomaly, paper §2.3).
+      persist_word(addr);
+      addr->compare_exchange_strong(v, v & ~kDirtyBit,
+                                    std::memory_order_acq_rel);
+      continue;
+    }
+    if (is_descriptor(v)) {
+      help(desc_of(v));
+      continue;
+    }
+    return v;
+  }
+}
+
+void PMwCAS::help(Descriptor* d) {
+  const std::uint64_t d_off = static_cast<std::uint64_t>(
+      reinterpret_cast<std::byte*>(d) - dev_.base());
+  std::uint64_t status = d->status.load(std::memory_order_acquire);
+  if ((status & kStatusMask) == kUndecided) {
+    std::uint64_t decided = kSucceeded;
+    for (std::uint64_t i = 0; i < d->count && decided == kSucceeded; ++i) {
+      WordEntry* entry = &d->words[i];
+      auto* addr = word_at(entry->addr_off);
+      const std::uint64_t expected = entry->expected;
+      for (;;) {
+        if ((d->status.load(std::memory_order_acquire) & kStatusMask) !=
+            kUndecided) {
+          break;  // decided concurrently; nothing more to install
+        }
+        std::uint64_t cur = addr->load(std::memory_order_acquire);
+        if (is_descriptor(cur) && desc_of(cur) == d) {
+          if (cur & kDirtyBit) {  // install not yet durable
+            persist_word(addr);
+            addr->compare_exchange_strong(cur, cur & ~kDirtyBit,
+                                          std::memory_order_acq_rel);
+          }
+          break;  // installed and persisted
+        }
+        if (is_rdcss(cur)) {
+          complete_pr(cur);  // ours or foreign: resolve, retry
+          continue;
+        }
+        if (cur & kDirtyBit) {  // someone else's unpersisted value
+          persist_word(addr);
+          addr->compare_exchange_strong(cur, cur & ~kDirtyBit,
+                                        std::memory_order_acq_rel);
+          continue;
+        }
+        if (is_descriptor(cur)) {
+          help(desc_of(cur));
+          continue;
+        }
+        if (cur != expected) {
+          decided = kFailed;
+          break;
+        }
+        // Fresh conditional-install attempt (Harris RDCSS): bump the
+        // thread slot's generation, persist the attempt record, then CAS
+        // the seq-stamped value in — recovery can undo it if we crash
+        // with it in the word.
+        const std::uint64_t slot = static_cast<std::uint64_t>(thread_id());
+        PRdcss* r = &rpool_[slot];
+        const std::uint64_t gen =
+            r->seq.load(std::memory_order_relaxed) + 1;
+        r->addr_off = entry->addr_off;
+        r->expected = expected;
+        r->parent_off = d_off;
+        r->seq.store(gen, std::memory_order_release);
+        dev_.mark_dirty(r, sizeof(*r));
+        dev_.persist_nontxn(r, sizeof(*r));
+        const std::uint64_t tagged_r = make_rdcss_value(slot, gen);
+        std::uint64_t e = expected;
+        if (addr->compare_exchange_strong(e, tagged_r,
+                                          std::memory_order_acq_rel)) {
+          complete_pr(tagged_r);
+          // The value is out of the word; persist so no stale copy can
+          // survive on the media either — after this, the slot is free
+          // for the next attempt.
+          persist_word(addr);
+        }
+        // Loop: verify the install landed (and persist it) or re-examine.
+      }
+      if ((d->status.load(std::memory_order_acquire) & kStatusMask) !=
+          kUndecided) {
+        break;
+      }
+    }
+    // Decision CAS goes through dirty -> persist -> clean, so the outcome
+    // is durable before phase 3 exposes final values.
+    std::uint64_t expected = kUndecided;
+    d->status.compare_exchange_strong(expected, decided | kDirtyBit,
+                                      std::memory_order_acq_rel);
+  }
+  std::uint64_t cur_status = d->status.load(std::memory_order_acquire);
+  if (cur_status & kDirtyBit) {
+    dev_.mark_dirty(&d->status, 8);
+    dev_.persist_nontxn(&d->status, 8);
+    d->status.compare_exchange_strong(cur_status, cur_status & ~kDirtyBit,
+                                      std::memory_order_acq_rel);
+  }
+
+  const std::uint64_t final_status =
+      d->status.load(std::memory_order_acquire) & kStatusMask;
+  assert(final_status == kSucceeded || final_status == kFailed);
+  for (std::uint64_t i = 0; i < d->count; ++i) {
+    auto* addr = word_at(d->words[i].addr_off);
+    const std::uint64_t out = final_status == kSucceeded
+                                  ? d->words[i].desired
+                                  : d->words[i].expected;
+    for (;;) {
+      std::uint64_t cur = addr->load(std::memory_order_acquire);
+      if (!is_descriptor(cur) || desc_of(cur) != d) break;  // detached
+      std::uint64_t e = cur;
+      if (addr->compare_exchange_strong(e, out | kDirtyBit,
+                                        std::memory_order_acq_rel)) {
+        persist_word(addr);
+        std::uint64_t v = out | kDirtyBit;
+        addr->compare_exchange_strong(v, out, std::memory_order_acq_rel);
+        break;
+      }
+    }
+  }
+}
+
+bool PMwCAS::execute(Word* words, int n) {
+  assert(n >= 1 && n <= kMwCASMaxWords);
+  Descriptor* d = acquire();  // outside the guard: may wait for reclaim
+  EbrDomain::Guard guard(ebr_);
+  d->count = static_cast<std::uint64_t>(n);
+  for (int i = 0; i < n; ++i) {
+    assert(dev_.contains(words[i].addr));
+    assert((words[i].expected & (kTagMask | kDirtyBit)) == 0 &&
+           (words[i].desired & (kTagMask | kDirtyBit)) == 0 &&
+           "PMwCAS values must keep bits 0, 1 and 63 clear");
+    d->words[i].addr_off = static_cast<std::uint64_t>(
+        reinterpret_cast<std::byte*>(words[i].addr) - dev_.base());
+    d->words[i].expected = words[i].expected;
+    d->words[i].desired = words[i].desired;
+  }
+  std::sort(d->words, d->words + n, [](const auto& a, const auto& b) {
+    return a.addr_off < b.addr_off;
+  });
+  d->status.store(kUndecided, std::memory_order_release);
+  // Step 1: the descriptor must be durable before it becomes reachable.
+  dev_.mark_dirty(d, sizeof(Descriptor));
+  dev_.persist_nontxn(d, sizeof(Descriptor));
+
+  help(d);
+  const bool ok =
+      (d->status.load(std::memory_order_acquire) & kStatusMask) == kSucceeded;
+
+  // Defer reuse until helpers are done with the descriptor.
+  ebr_.retire(
+      d,
+      [](void* p, void* self) {
+        static_cast<PMwCAS*>(self)->release(static_cast<Descriptor*>(p));
+      },
+      this);
+  return ok;
+}
+
+void PMwCAS::recover() {
+  // Pass A: undo in-flight conditional installs. An in-flight RDCSS never
+  // published anything, so the word always reverts to the attempt's
+  // expected value. Attempt records were persisted before their pointer
+  // could enter a word, and are recycled only after the pointer left it,
+  // so the pointer-equality check below is unambiguous.
+  for (std::uint64_t i = 0; i < kMaxThreads; ++i) {
+    PRdcss* r = &rpool_[i];
+    const std::uint64_t gen = r->seq.load(std::memory_order_relaxed);
+    if (gen == 0) continue;  // slot never used
+    auto* addr = word_at(r->addr_off);
+    if (addr->load(std::memory_order_relaxed) == make_rdcss_value(i, gen)) {
+      addr->store(r->expected, std::memory_order_relaxed);
+      dev_.mark_dirty(addr, 8);
+      dev_.clwb_nontxn(addr);
+    }
+  }
+
+  // Pass B: roll announced operations forward or back.
+  std::scoped_lock lk(free_mu_);
+  free_.clear();
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    Descriptor* d = &pool_[i];
+    const std::uint64_t st = d->status.load(std::memory_order_relaxed) &
+                             kStatusMask;
+    if (st != kFree) {
+      const bool forward = st == kSucceeded;
+      for (std::uint64_t w = 0; w < d->count && w < kMwCASMaxWords; ++w) {
+        WordEntry* entry = &d->words[w];
+        auto* addr = word_at(entry->addr_off);
+        std::uint64_t cur = addr->load(std::memory_order_relaxed);
+        if (is_descriptor(cur) && desc_of(cur) == d) {
+          const std::uint64_t out = forward ? entry->desired
+                                            : entry->expected;
+          addr->store(out, std::memory_order_relaxed);
+          dev_.mark_dirty(addr, 8);
+          dev_.clwb_nontxn(addr);
+        } else if (cur & kDirtyBit) {
+          addr->store(cur & ~kDirtyBit, std::memory_order_relaxed);
+          dev_.mark_dirty(addr, 8);
+          dev_.clwb_nontxn(addr);
+        }
+      }
+      d->status.store(kFree, std::memory_order_relaxed);
+      dev_.mark_dirty(&d->status, 8);
+      dev_.clwb_nontxn(&d->status);
+    }
+    free_.push_back(static_cast<std::uint32_t>(i));
+  }
+  dev_.drain();
+}
+
+}  // namespace bdhtm::sync

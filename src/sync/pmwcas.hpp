@@ -1,0 +1,156 @@
+// Persistent multi-word compare-and-swap (Wang et al. [54]; paper §2.3,
+// §4.2, Fig. 4 "PMwCAS").
+//
+// Extends the volatile MwCAS protocol with the persistence steps the
+// paper enumerates — each one a clwb + fence on the operation's critical
+// path, which is exactly the cost BDL-with-HTM removes:
+//   1. the filled descriptor is persisted before any install;
+//   2. installs are conditional (RDCSS): each attempt uses a FRESH
+//      NVM-resident RDCSS descriptor, persisted before its CAS — the
+//      freshness is what makes the status CAS the unique linearization
+//      point under ABA (Harris, DISC '02), and the persistence is what
+//      lets recovery interpret a word caught mid-install;
+//   3. a successful install writes (descriptor | dirty); the word is
+//      persisted and its dirty bit cleared before anyone may act on it
+//      (dirty-read avoidance: a value must not be observed-then-lost);
+//   4. the status CAS also goes through dirty -> persist -> clean;
+//   5. phase-3 final values are installed dirty, persisted, cleaned;
+//   6. descriptor reuse persists the Free status.
+//
+// Both descriptor pools live in NVM, reachable from root slots, so
+// recover() can (a) undo in-flight conditional installs (always to the
+// attempt's expected value — an in-flight RDCSS never published
+// anything), and (b) roll every announced operation forward (Succeeded)
+// or back (Undecided/Failed). PMwCAS is strictly durably linearizable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "alloc/pallocator.hpp"
+#include "common/ebr.hpp"
+#include "nvm/device.hpp"
+#include "sync/mwcas.hpp"
+#include "sync/rdcss.hpp"
+
+namespace bdhtm::sync {
+
+class PMwCAS {
+ public:
+  /// Dirty flag on target words and status: set by a CAS whose result has
+  /// not yet been persisted. Application values must keep bits 63, 1 and
+  /// 0 clear.
+  static constexpr std::uint64_t kDirtyBit = std::uint64_t{1} << 63;
+
+  enum Status : std::uint64_t {
+    kFree = 0,
+    kUndecided = 4,
+    kSucceeded = 8,
+    kFailed = 12,
+  };
+
+  struct Word {
+    std::atomic<std::uint64_t>* addr;  // must lie inside the device
+    std::uint64_t expected;
+    std::uint64_t desired;
+  };
+
+  enum class Mode { kFormat, kAttach };
+
+  /// Pools are allocated from `pa` and published in root slots. kAttach
+  /// re-locates them after a crash; call recover() before issuing
+  /// operations.
+  PMwCAS(nvm::Device& dev, alloc::PAllocator& pa, Mode mode = Mode::kFormat,
+         std::size_t pool_capacity = 4096);
+
+  /// All worker threads must have finished their operations.
+  ~PMwCAS();
+
+  /// Atomic persistent N-word CAS. Returns success; on return (either
+  /// way) the outcome is durable.
+  bool execute(Word* words, int n);
+
+  /// Helper-aware persistent read: resolves descriptors and persists any
+  /// dirty value before returning it (the flush-on-read rule that avoids
+  /// the dirty-read anomaly).
+  std::uint64_t read(std::atomic<std::uint64_t>* addr);
+
+  /// Post-crash: undo in-flight installs, complete or roll back every
+  /// announced descriptor, clear dirty bits, rebuild free lists.
+  void recover();
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct WordEntry {
+    std::uint64_t addr_off;  // device offset of the target word
+    std::uint64_t expected;
+    std::uint64_t desired;
+  };
+
+  struct alignas(kCacheLineSize) Descriptor {
+    std::atomic<std::uint64_t> status{kFree};
+    std::uint64_t count = 0;
+    WordEntry words[kMwCASMaxWords];
+  };
+
+  // Conditional-install record (persistent RDCSS), one slot per thread.
+  // Freshness — the linchpin of Harris's proof — comes from a per-attempt
+  // sequence number embedded in the installed word VALUE: a stale helper
+  // holding an old value can never mutate a newer attempt (its CAS
+  // expects the old sequence), and the seqlock read of the fields
+  // detects refills. A slot is reusable as soon as its value is out of
+  // the word AND the word has been persisted (so no stale copy of the
+  // value survives on the media either) — both guaranteed synchronously
+  // by the installer before its next attempt.
+  struct alignas(kCacheLineSize) PRdcss {
+    std::atomic<std::uint64_t> seq{0};  // generation; 0 = never used
+    std::uint64_t addr_off = 0;
+    std::uint64_t expected = 0;
+    std::uint64_t parent_off = 0;
+  };
+
+  static constexpr std::uint64_t make_rdcss_value(std::uint64_t slot,
+                                                  std::uint64_t seq) {
+    return kRdcssTag | (slot << 2) | (seq << 18);
+  }
+  static constexpr std::uint64_t rdcss_slot(std::uint64_t v) {
+    return (v >> 2) & 0xffff;
+  }
+  static constexpr std::uint64_t rdcss_seq(std::uint64_t v) {
+    return (v >> 18) & ((std::uint64_t{1} << 44) - 1);
+  }
+
+  Descriptor* acquire();
+  void release(Descriptor* d);
+  void help(Descriptor* d);
+  /// Resolve the conditional install `tagged_r` observed in its target
+  /// word; after this returns the word no longer holds tagged_r (or the
+  /// value was already extinct).
+  void complete_pr(std::uint64_t tagged_r);
+  void persist_word(std::atomic<std::uint64_t>* addr);
+  std::atomic<std::uint64_t>* word_at(std::uint64_t off) {
+    return reinterpret_cast<std::atomic<std::uint64_t>*>(dev_.base() + off);
+  }
+  std::uint64_t tagged(Descriptor* d) const {
+    return reinterpret_cast<std::uint64_t>(d) | kDescTag;
+  }
+  static Descriptor* desc_of(std::uint64_t v) {
+    return reinterpret_cast<Descriptor*>(v & ~(kDescTag | kDirtyBit));
+  }
+
+  nvm::Device& dev_;
+  Descriptor* pool_ = nullptr;
+  PRdcss* rpool_ = nullptr;  // kMaxThreads slots, indexed by thread_id()
+  std::size_t capacity_;
+  // Grace periods are instance-local: retired descriptors reference this
+  // instance's pools, so they must never outlive it in a shared domain.
+  EbrDomain ebr_;
+  // Volatile descriptor free list (indices); rebuilt by recover().
+  std::mutex free_mu_;
+  std::vector<std::uint32_t> free_;
+};
+
+}  // namespace bdhtm::sync

@@ -1,0 +1,61 @@
+// RDCSS (restricted double-compare single-swap), Harris DISC '02 — the
+// conditional install primitive under MwCAS/PMwCAS.
+//
+// rdcss(r) writes r->install_value into *r->addr only if *r->addr ==
+// r->expected AND (*r->status_addr & r->status_mask) == r->status_expected
+// at the linearization point. It is what prevents the ABA double-apply:
+// a multi-word descriptor can only be (re)installed while its status is
+// still Undecided, checked atomically with the install.
+//
+// Every install attempt uses a FRESH RdcssDesc (recycled through the
+// MwCAS EBR domain); reusing one would let a stale helper replay an old
+// install — the freshness is load-bearing in Harris's proof.
+//
+// Tag bits: bit 0 marks a multi-word descriptor pointer, bit 1 marks an
+// RdcssDesc pointer; application values must keep both clear (i.e. be
+// multiples of 4 — pointers and shifted integers in practice).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace bdhtm::sync {
+
+inline constexpr std::uint64_t kRdcssTag = 2;
+
+constexpr bool is_rdcss(std::uint64_t v) { return (v & kRdcssTag) != 0; }
+
+struct RdcssDesc {
+  std::atomic<std::uint64_t>* addr;
+  std::uint64_t expected;       // application value expected at addr
+  std::uint64_t install_value;  // tagged parent-descriptor pointer
+  const std::atomic<std::uint64_t>* status_addr;
+  std::uint64_t status_expected;
+  std::uint64_t status_mask;  // applied to *status_addr before comparing
+};
+
+/// Acquire a fresh descriptor from the calling thread's pool.
+RdcssDesc* rdcss_acquire();
+
+/// Retire a descriptor whose pointer may still be visible to helpers
+/// (i.e. the install CAS succeeded at some point). Caller must hold an
+/// EBR guard on sync::mwcas_ebr().
+void rdcss_retire(RdcssDesc* r);
+
+/// Return a descriptor that never became visible straight to the pool.
+void rdcss_release_unused(RdcssDesc* r);
+
+/// Execute the RDCSS. Returns the application value observed at addr:
+///   == r->expected  -> the conditional install took place (or the status
+///                      condition failed, in which case nothing changed —
+///                      callers proceed to the status CAS either way);
+///   anything else   -> no install; the caller dispatches on the value
+///                      (foreign multi-word descriptor, dirty bit, or a
+///                      genuine mismatch).
+/// Foreign *RDCSS* descriptors are resolved internally.
+std::uint64_t rdcss(RdcssDesc* r);
+
+/// Help an in-flight RDCSS whose tagged pointer was observed at `addr`.
+void rdcss_complete(std::uint64_t tagged_ptr);
+
+}  // namespace bdhtm::sync

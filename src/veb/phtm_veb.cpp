@@ -1,0 +1,256 @@
+#include "veb/phtm_veb.hpp"
+
+#include <thread>
+
+#include "htm/retry.hpp"
+
+namespace bdhtm::veb {
+
+using epoch::KVPair;
+using epoch::kOldSeeNewException;
+
+namespace {
+constexpr int kMaxTxnRetries = 16;
+
+std::uint64_t block_epoch(const void* payload) {
+  return alloc::PAllocator::header_of(const_cast<void*>(payload))
+      ->create_epoch;
+}
+}  // namespace
+
+PHTMvEB::PHTMvEB(epoch::EpochSys& es, int ubits)
+    : es_(es),
+      dev_(es.device()),
+      core_(std::make_unique<VebCore>(ubits)),
+      tctx_(std::make_unique<Padded<ThreadCtx>[]>(kMaxThreads)) {}
+
+void PHTMvEB::prewalk(std::uint64_t key) {
+  // Non-transactional warm-up walk after a (simulated) MEMTYPE abort —
+  // the paper's Fig. 2 mitigation. The result is irrelevant.
+  htm::NontxAccess acc;
+  (void)core_->slot_addr(acc, key);
+}
+
+template <typename Body, typename Prep>
+bool PHTMvEB::mutate(Body&& body, Prep&& prep) {
+  for (;;) {  // epoch-registration loop (Listing 1 retry_regist)
+    const std::uint64_t op_epoch = es_.beginOp();
+    prep(op_epoch);
+    OpCtl ctl;
+    bool committed = false;
+    bool restart_epoch = false;
+
+    for (int attempt = 0; attempt < kMaxTxnRetries; ++attempt) {
+      const unsigned st = htm::run([&](htm::Txn& tx) {
+        lock_.subscribe(tx, htm::kLockedCode);
+        ctl = OpCtl{};
+        htm::TxAccess acc{tx};
+        body(acc, op_epoch, ctl);
+      });
+      if (st == htm::kCommitted) {
+        committed = true;
+        break;
+      }
+      if (st & htm::kAbortExplicit) {
+        const std::uint8_t code = htm::explicit_code(st);
+        if (code == kOldSeeNewException) {
+          restart_epoch = true;  // restart in a fresh epoch
+          break;
+        }
+        if (code == htm::kLockedCode) {
+          lock_.wait_until_free();
+          continue;
+        }
+      }
+      if (st & htm::kAbortMemtype) {
+        ctl.prewalk_key_valid ? prewalk(ctl.prewalk_key) : void();
+        htm::prewalk_hint();
+        continue;
+      }
+      // conflict / capacity / spurious: plain retry
+    }
+
+    if (!committed && !restart_epoch) {
+      htm::FallbackGuard guard(lock_);
+      try {
+        ctl = OpCtl{};
+        htm::NontxAccess acc;
+        body(acc, op_epoch, ctl);
+        committed = true;
+      } catch (const htm::FallbackRestart& fr) {
+        assert(fr.code == kOldSeeNewException);
+        (void)fr;
+        restart_epoch = true;
+      }
+    }
+
+    if (restart_epoch) {
+      es_.abortOp();  // discard tracking, leave the stale epoch
+      continue;
+    }
+
+    // Post-commit epilogue (Listing 1 op_done): persistence and
+    // reclamation happen strictly after the transaction.
+    auto& tc = tctx_[thread_id()].value;
+    if (ctl.used_new) {
+      tc.new_blk = nullptr;
+    } else if (tc.new_blk != nullptr) {
+      // Unused preallocation: reset its epoch stamp to invalid so an
+      // idle thread cannot leave a stamped-but-unlinked block behind
+      // (paper §5 guideline).
+      auto* hdr = alloc::PAllocator::header_of(tc.new_blk);
+      hdr->create_epoch = alloc::kInvalidEpoch;
+      dev_.mark_dirty(&hdr->create_epoch, 8);
+    }
+    if (ctl.retire != nullptr) es_.pRetire(ctl.retire);
+    if (ctl.persist != nullptr) es_.pTrack(ctl.persist);
+    es_.endOp();
+    return ctl.result;
+  }
+}
+
+bool PHTMvEB::insert(std::uint64_t key, std::uint64_t value) {
+  auto& tc = tctx_[thread_id()].value;
+  return mutate([&](auto& acc, std::uint64_t op_epoch, OpCtl& ctl) {
+    ctl.prewalk_key = key;
+    ctl.prewalk_key_valid = true;
+    // The preallocated block was prepared outside the transaction (see
+    // below: mutate() re-runs this body, and the first statement of each
+    // attempt must make the block ready).
+    KVPair* nb = tc.new_blk;
+    // Stamp the preallocation with our epoch before the linearization
+    // point (Listing 1 line 17).
+    epoch::EpochSys::set_epoch_generic(acc, dev_, nb, op_epoch);
+
+    if (std::uint64_t* sa = core_->slot_addr(acc, key)) {
+      auto* cur = reinterpret_cast<KVPair*>(acc.load(sa));
+      const std::uint64_t e =
+          acc.load(&alloc::PAllocator::header_of(cur)->create_epoch);
+      if (e != alloc::kInvalidEpoch && e > op_epoch) {
+        acc.fail(kOldSeeNewException);  // OldSeeNewException
+      }
+      if (e == op_epoch) {
+        // Same epoch: in-place update (Listing 1 line 29).
+        acc.store_nvm(dev_, &cur->value, value);
+        ctl.persist = cur;
+      } else {
+        // Older epoch: replace out-of-place, retire the old block.
+        acc.store(sa, reinterpret_cast<std::uint64_t>(nb));
+        ctl.retire = cur;
+        ctl.persist = nb;
+        ctl.used_new = true;
+      }
+      ctl.result = false;
+    } else {
+      core_->insert_new(acc, key, reinterpret_cast<std::uint64_t>(nb));
+      ctl.persist = nb;
+      ctl.used_new = true;
+      ctl.result = true;
+    }
+  },
+  /*prep=*/[&](std::uint64_t) {
+    if (tc.new_blk == nullptr) {
+      tc.new_blk = epoch::make_kv(es_, key, value);
+    } else {
+      epoch::reinit_kv(es_, tc.new_blk, key, value);
+    }
+  });
+}
+
+bool PHTMvEB::remove(std::uint64_t key) {
+  return mutate([&](auto& acc, std::uint64_t op_epoch, OpCtl& ctl) {
+    ctl.prewalk_key = key;
+    ctl.prewalk_key_valid = true;
+    if (std::uint64_t* sa = core_->slot_addr(acc, key)) {
+      auto* cur = reinterpret_cast<KVPair*>(acc.load(sa));
+      const std::uint64_t e =
+          acc.load(&alloc::PAllocator::header_of(cur)->create_epoch);
+      if (e != alloc::kInvalidEpoch && e > op_epoch) {
+        acc.fail(kOldSeeNewException);
+      }
+      core_->remove_existing(acc, key);
+      ctl.retire = cur;
+      ctl.result = true;
+    } else {
+      ctl.result = false;
+    }
+  });
+}
+
+std::optional<std::uint64_t> PHTMvEB::find(std::uint64_t key) {
+  es_.beginOp();  // pin the epoch: blocks we read cannot be reclaimed
+  auto out = htm::elide<std::optional<std::uint64_t>>(
+      lock_, [&](auto& acc) -> std::optional<std::uint64_t> {
+        if (std::uint64_t* sa = core_->slot_addr(acc, key)) {
+          auto* kv = reinterpret_cast<KVPair*>(acc.load(sa));
+          dev_.account_read();  // value fetch touches NVM
+          return acc.load(&kv->value);
+        }
+        return std::nullopt;
+      });
+  es_.endOp();
+  return out;
+}
+
+std::optional<std::pair<std::uint64_t, std::uint64_t>> PHTMvEB::successor(
+    std::uint64_t key) {
+  using Out = std::optional<std::pair<std::uint64_t, std::uint64_t>>;
+  es_.beginOp();
+  auto out = htm::elide<Out>(lock_, [&](auto& acc) -> Out {
+    auto s = core_->successor(acc, key);
+    if (!s) return std::nullopt;
+    auto* kv = reinterpret_cast<KVPair*>(s->second);
+    dev_.account_read();
+    return std::pair{s->first, acc.load(&kv->value)};
+  });
+  es_.endOp();
+  return out;
+}
+
+void PHTMvEB::link_recovered(KVPair* kv, std::uint64_t create_epoch) {
+  KVPair* loser = htm::elide<KVPair*>(lock_, [&](auto& acc) -> KVPair* {
+    const std::uint64_t key = kv->key;
+    if (std::uint64_t* sa = core_->slot_addr(acc, key)) {
+      auto* cur = reinterpret_cast<KVPair*>(acc.load(sa));
+      // Duplicate key: keep the newer block (ties are value-identical by
+      // construction — see the unused-preallocation discussion in
+      // DESIGN.md).
+      if (block_epoch(cur) < create_epoch) {
+        acc.store(sa, reinterpret_cast<std::uint64_t>(kv));
+        return cur;
+      }
+      return kv;
+    }
+    core_->insert_new(acc, key, reinterpret_cast<std::uint64_t>(kv));
+    return nullptr;
+  });
+  if (loser != nullptr) es_.pDelete(loser);
+}
+
+std::size_t PHTMvEB::recover(int threads) {
+  core_ = std::make_unique<VebCore>(core_->ubits());
+  std::vector<std::pair<KVPair*, std::uint64_t>> blocks;
+  es_.recover([&](void* payload, std::uint64_t ce) {
+    blocks.emplace_back(static_cast<KVPair*>(payload), ce);
+  });
+  if (threads <= 1) {
+    for (auto& [kv, ce] : blocks) link_recovered(kv, ce);
+  } else {
+    std::vector<std::thread> workers;
+    const std::size_t chunk = (blocks.size() + threads - 1) / threads;
+    for (int t = 0; t < threads; ++t) {
+      const std::size_t lo = t * chunk;
+      const std::size_t hi = std::min(blocks.size(), lo + chunk);
+      if (lo >= hi) break;
+      workers.emplace_back([this, &blocks, lo, hi] {
+        for (std::size_t i = lo; i < hi; ++i) {
+          link_recovered(blocks[i].first, blocks[i].second);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  return blocks.size();
+}
+
+}  // namespace bdhtm::veb

@@ -1,0 +1,89 @@
+// PHTM-vEB (paper §4.1): the buffered-durable port of HTM-vEB.
+//
+// The doubly-logarithmic index lives in DRAM; leaf/min slots hold
+// pointers to KVPair blocks in NVM managed by the epoch system. Every
+// operation follows the Listing 1 strategy:
+//   - register with beginOp(); preallocate (or reuse) a thread-local NVM
+//     block outside the transaction;
+//   - inside the transaction: stamp the preallocated block with the
+//     operation's epoch, then check the target block's epoch —
+//       newer epoch  -> abort with OldSeeNewException, abortOp(),
+//                       restart in a fresh epoch;
+//       older epoch  -> replace the block out-of-place (retire the old);
+//       same epoch   -> update the value in place;
+//   - after commit: pRetire()/pTrack() the affected blocks, endOp().
+// No persist instruction ever executes inside a transaction.
+//
+// After a crash, recover() scans the NVM heap (epoch-system §5.2 rules)
+// and rebuilds the DRAM index from the surviving KV blocks, optionally
+// with multiple threads (§5.2's recovery study).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/defs.hpp"
+#include "common/threading.hpp"
+#include "epoch/epoch_sys.hpp"
+#include "epoch/kvpair.hpp"
+#include "htm/engine.hpp"
+#include "veb/veb_core.hpp"
+
+namespace bdhtm::veb {
+
+class PHTMvEB {
+ public:
+  PHTMvEB(epoch::EpochSys& es, int ubits);
+
+  /// Insert or update; returns true if the key was newly inserted.
+  bool insert(std::uint64_t key, std::uint64_t value);
+  /// Returns true if the key was present.
+  bool remove(std::uint64_t key);
+  std::optional<std::uint64_t> find(std::uint64_t key);
+  /// Smallest (key, value) strictly greater than `key`.
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> successor(
+      std::uint64_t key);
+
+  /// Post-crash rebuild: runs the epoch-system recovery scan, then
+  /// reinserts every live KV block into a fresh DRAM index using
+  /// `threads` workers. Returns the number of live pairs.
+  std::size_t recover(int threads = 1);
+
+  int ubits() const { return core_->ubits(); }
+  std::uint64_t dram_bytes() const { return core_->dram_bytes(); }
+  std::uint64_t nvm_bytes() const { return es_.allocator().bytes_in_use(); }
+  epoch::EpochSys& epoch_sys() { return es_; }
+
+ private:
+  struct OpCtl {
+    epoch::KVPair* retire = nullptr;
+    epoch::KVPair* persist = nullptr;
+    bool used_new = false;
+    bool result = false;
+    std::uint64_t prewalk_key = 0;
+    bool prewalk_key_valid = false;
+  };
+  struct ThreadCtx {
+    epoch::KVPair* new_blk = nullptr;
+  };
+
+  // Listing 1 retry structure; `prep` runs outside the transaction after
+  // each beginOp() (block preallocation / reinitialization).
+  template <typename Body, typename Prep>
+  bool mutate(Body&& body, Prep&& prep);
+  template <typename Body>
+  bool mutate(Body&& body) {
+    return mutate(std::forward<Body>(body), [](std::uint64_t) {});
+  }
+  void prewalk(std::uint64_t key);
+  void link_recovered(epoch::KVPair* kv, std::uint64_t create_epoch);
+
+  epoch::EpochSys& es_;
+  nvm::Device& dev_;
+  std::unique_ptr<VebCore> core_;
+  htm::ElidedLock lock_;
+  std::unique_ptr<Padded<ThreadCtx>[]> tctx_;
+};
+
+}  // namespace bdhtm::veb

@@ -1,0 +1,154 @@
+// YCSB-style workload generation and throughput harness (paper §4).
+//
+// The paper evaluates with 8-byte keys/values drawn uniformly or Zipfian
+// (theta 0.99 unless noted), structures prefilled with half the key
+// space, writes split 50/50 between inserts and removes so sizes stay
+// stable, and fixed-duration timed runs across thread counts.
+//
+// `run_workload` is a duck-typed template: any structure with
+// insert(k,v) / remove(k) / find(k) works.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/defs.hpp"
+#include "common/rng.hpp"
+#include "common/spin.hpp"
+
+namespace bdhtm::workload {
+
+struct Config {
+  std::uint64_t key_space = std::uint64_t{1} << 20;
+  /// 0 = uniform; otherwise the Zipfian constant (paper default 0.99).
+  double zipf_theta = 0.0;
+  /// Percentages must sum to 100; writes are split insert/remove.
+  int read_pct = 50;
+  int insert_pct = 25;
+  int remove_pct = 25;
+  double prefill_frac = 0.5;
+  int threads = 1;
+  std::uint64_t duration_ms = 1000;
+  std::uint64_t seed = 0x9a0b;
+
+  static Config write_heavy() {
+    Config c;
+    c.read_pct = 20;
+    c.insert_pct = 40;
+    c.remove_pct = 40;
+    return c;
+  }
+  static Config read_heavy() {
+    Config c;
+    c.read_pct = 90;
+    c.insert_pct = 5;
+    c.remove_pct = 5;
+    return c;
+  }
+};
+
+struct RunResult {
+  std::uint64_t ops = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t hits = 0;  // successful finds
+  double seconds = 0;
+
+  double mops() const { return seconds > 0 ? ops / seconds / 1e6 : 0; }
+};
+
+/// Key generator: uniform or Zipfian rank scrambled across the key space
+/// (so hot Zipfian keys are not numerically adjacent).
+class KeyGen {
+ public:
+  KeyGen(const Config& cfg, std::uint64_t seed)
+      : uniform_(cfg.zipf_theta == 0.0),
+        key_space_(cfg.key_space),
+        rng_(seed),
+        zipf_(cfg.key_space, cfg.zipf_theta == 0.0 ? 0.5 : cfg.zipf_theta,
+              seed) {}
+
+  std::uint64_t next() {
+    if (uniform_) return rng_.next_below(key_space_);
+    return splitmix64(zipf_.next()) % key_space_;
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  bool uniform_;
+  std::uint64_t key_space_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+};
+
+/// Insert `prefill_frac * key_space` distinct keys (single-threaded; the
+/// paper prefills half the key space before timed runs).
+template <typename Map>
+std::uint64_t prefill(Map& map, const Config& cfg) {
+  const std::uint64_t target = static_cast<std::uint64_t>(
+      static_cast<double>(cfg.key_space) * cfg.prefill_frac);
+  // Deterministic spread: every other key via an odd multiplicative step.
+  std::uint64_t inserted = 0;
+  for (std::uint64_t i = 0; i < target; ++i) {
+    const std::uint64_t k =
+        (i * 0x9e3779b97f4a7c15ULL) % cfg.key_space;
+    if (map.insert(k, k ^ 0xabcdULL)) ++inserted;
+  }
+  return inserted;
+}
+
+/// Timed fixed-duration mixed-operation run.
+template <typename Map>
+RunResult run_workload(Map& map, const Config& cfg) {
+  std::atomic<bool> start{false}, stop{false};
+  std::vector<RunResult> partial(cfg.threads);
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.threads);
+  for (int t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      KeyGen gen(cfg, splitmix64(cfg.seed + t * 1000003));
+      RunResult& r = partial[t];
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t k = gen.next();
+        const auto dice = gen.rng().next_below(100);
+        if (dice < static_cast<std::uint64_t>(cfg.read_pct)) {
+          r.hits += map.find(k).has_value();
+          r.reads++;
+        } else if (dice < static_cast<std::uint64_t>(cfg.read_pct +
+                                                     cfg.insert_pct)) {
+          map.insert(k, k + 1);
+          r.inserts++;
+        } else {
+          map.remove(k);
+          r.removes++;
+        }
+        r.ops++;
+      }
+    });
+  }
+  const std::uint64_t t0 = now_ns();
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const std::uint64_t t1 = now_ns();
+
+  RunResult total;
+  total.seconds = static_cast<double>(t1 - t0) / 1e9;
+  for (const auto& p : partial) {
+    total.ops += p.ops;
+    total.reads += p.reads;
+    total.inserts += p.inserts;
+    total.removes += p.removes;
+    total.hits += p.hits;
+  }
+  return total;
+}
+
+}  // namespace bdhtm::workload

@@ -1,0 +1,248 @@
+// Tests for the simulated NVM device: dirty tracking, clwb/drain
+// semantics, crash behaviour under the eviction model, eADR mode,
+// persist-in-transaction aborts, and accounting.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/defs.hpp"
+#include "htm/engine.hpp"
+#include "nvm/device.hpp"
+
+namespace bdhtm {
+namespace {
+
+nvm::DeviceConfig small_cfg() {
+  nvm::DeviceConfig cfg;
+  cfg.capacity = 1 << 20;  // 1 MiB
+  cfg.pending_survival = 0.5;
+  cfg.dirty_survival = 0.0;
+  return cfg;
+}
+
+TEST(NvmDevice, FlushedDataSurvivesCrash) {
+  nvm::Device dev(small_cfg());
+  auto* x = reinterpret_cast<std::uint64_t*>(dev.base());
+  dev.write(x, std::uint64_t{0xdeadbeef});
+  dev.persist(x, sizeof(*x));
+  dev.simulate_crash();
+  EXPECT_EQ(*x, 0xdeadbeefu);
+}
+
+TEST(NvmDevice, UnflushedDirtyDataIsLostWithZeroSurvival) {
+  auto cfg = small_cfg();
+  cfg.dirty_survival = 0.0;
+  nvm::Device dev(cfg);
+  auto* x = reinterpret_cast<std::uint64_t*>(dev.base());
+  dev.write(x, std::uint64_t{0x1234});
+  dev.simulate_crash();
+  EXPECT_EQ(*x, 0u);  // media never saw the store
+}
+
+TEST(NvmDevice, UnflushedDirtyDataSurvivesWithFullSurvival) {
+  auto cfg = small_cfg();
+  cfg.dirty_survival = 1.0;  // every dirty line happened to be evicted
+  nvm::Device dev(cfg);
+  auto* x = reinterpret_cast<std::uint64_t*>(dev.base());
+  dev.write(x, std::uint64_t{0x1234});
+  dev.simulate_crash();
+  EXPECT_EQ(*x, 0x1234u);
+}
+
+TEST(NvmDevice, ClwbWithoutDrainIsNotGuaranteedDurable) {
+  // With pending_survival = 0, a clwb'd-but-unfenced line is lost: this is
+  // the missing-sfence bug class the crash model must be able to expose.
+  auto cfg = small_cfg();
+  cfg.pending_survival = 0.0;
+  nvm::Device dev(cfg);
+  auto* x = reinterpret_cast<std::uint64_t*>(dev.base());
+  dev.write(x, std::uint64_t{7});
+  dev.clwb(x);
+  dev.simulate_crash();
+  EXPECT_EQ(*x, 0u);
+}
+
+TEST(NvmDevice, ClwbThenDrainIsDurable) {
+  auto cfg = small_cfg();
+  cfg.pending_survival = 0.0;
+  nvm::Device dev(cfg);
+  auto* x = reinterpret_cast<std::uint64_t*>(dev.base());
+  dev.write(x, std::uint64_t{7});
+  dev.clwb(x);
+  dev.drain();
+  dev.simulate_crash();
+  EXPECT_EQ(*x, 7u);
+}
+
+TEST(NvmDevice, LineIsDurableReflectsFlushState) {
+  nvm::Device dev(small_cfg());
+  auto* x = reinterpret_cast<std::uint64_t*>(dev.base());
+  EXPECT_TRUE(dev.line_is_durable(x));  // both images zero
+  dev.write(x, std::uint64_t{9});
+  EXPECT_FALSE(dev.line_is_durable(x));
+  dev.persist(x, sizeof(*x));
+  EXPECT_TRUE(dev.line_is_durable(x));
+}
+
+TEST(NvmDevice, RedirtyAfterClwbKeepsNewerContentAtDrain) {
+  nvm::Device dev(small_cfg());
+  auto* x = reinterpret_cast<std::uint64_t*>(dev.base());
+  dev.write(x, std::uint64_t{1});
+  dev.clwb(x);
+  dev.write(x, std::uint64_t{2});  // re-dirty before the fence
+  dev.drain();
+  // Drain writes back current content; hardware may do the same.
+  EXPECT_EQ(dev.media_read(x), 2u);
+}
+
+TEST(NvmDevice, PersistRangeCoversAllLines) {
+  nvm::Device dev(small_cfg());
+  auto* p = dev.base() + 128;
+  std::memset(p, 0xab, 300);  // spans 5-6 lines
+  dev.mark_dirty(p, 300);
+  dev.persist(p, 300);
+  dev.simulate_crash();
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(p[i]), 0xabu) << i;
+  }
+}
+
+TEST(NvmDevice, MultipleCrashesArePossible) {
+  nvm::Device dev(small_cfg());
+  auto* x = reinterpret_cast<std::uint64_t*>(dev.base());
+  dev.write(x, std::uint64_t{1});
+  dev.persist(x, 8);
+  dev.simulate_crash();
+  EXPECT_EQ(*x, 1u);
+  dev.write(x, std::uint64_t{2});
+  dev.simulate_crash();  // second crash loses the unflushed update
+  EXPECT_EQ(*x, 1u);
+  dev.write(x, std::uint64_t{3});
+  dev.persist(x, 8);
+  dev.simulate_crash();
+  EXPECT_EQ(*x, 3u);
+}
+
+TEST(NvmDevice, EadrMakesEveryStoreDurable) {
+  auto cfg = small_cfg();
+  cfg.eadr = true;
+  nvm::Device dev(cfg);
+  auto* x = reinterpret_cast<std::uint64_t*>(dev.base());
+  dev.write(x, std::uint64_t{0xfeed});
+  dev.simulate_crash();  // no flush at all
+  EXPECT_EQ(*x, 0xfeedu);
+  EXPECT_TRUE(dev.line_is_durable(x));
+}
+
+TEST(NvmDevice, ClwbInsideTransactionAborts) {
+  nvm::Device dev(small_cfg());
+  auto* x = reinterpret_cast<std::uint64_t*>(dev.base());
+  const unsigned status = htm::run([&](htm::Txn& tx) {
+    tx.store_nvm(dev, x, std::uint64_t{5});
+    dev.clwb(x);  // the HTM/NVM incompatibility
+  });
+  EXPECT_NE(status, htm::kCommitted);
+  EXPECT_TRUE(status & htm::kAbortPersist);
+  EXPECT_EQ(*x, 0u);  // speculative store rolled back
+}
+
+TEST(NvmDevice, ClwbInsideTransactionIsFineOnEadr) {
+  auto cfg = small_cfg();
+  cfg.eadr = true;
+  nvm::Device dev(cfg);
+  auto* x = reinterpret_cast<std::uint64_t*>(dev.base());
+  const unsigned status = htm::run([&](htm::Txn& tx) {
+    tx.store_nvm(dev, x, std::uint64_t{5});
+    dev.clwb(x);  // no-op under persistent cache: no abort
+  });
+  EXPECT_EQ(status, htm::kCommitted);
+  EXPECT_EQ(*x, 5u);
+}
+
+TEST(NvmDevice, TransactionalNvmStoreIsCrashVisibleAfterFlush) {
+  nvm::Device dev(small_cfg());
+  auto* x = reinterpret_cast<std::uint64_t*>(dev.base());
+  const unsigned status = htm::run([&](htm::Txn& tx) {
+    tx.store_nvm(dev, x, std::uint64_t{0xcc});
+  });
+  ASSERT_EQ(status, htm::kCommitted);
+  // The commit marked the line dirty; flushing it outside the txn works.
+  dev.persist(x, 8);
+  dev.simulate_crash();
+  EXPECT_EQ(*x, 0xccu);
+}
+
+TEST(NvmDevice, PendingSurvivalIsProbabilistic) {
+  // With pending_survival=0.5 over many independent lines, some survive
+  // and some do not (seeded, so deterministic but mixed).
+  auto cfg = small_cfg();
+  cfg.pending_survival = 0.5;
+  nvm::Device dev(cfg);
+  constexpr int kLines = 256;
+  for (int i = 0; i < kLines; ++i) {
+    auto* p = reinterpret_cast<std::uint64_t*>(dev.base() +
+                                               i * kCacheLineSize);
+    dev.write(p, std::uint64_t{1});
+    dev.clwb(p);  // pending, never fenced
+  }
+  dev.simulate_crash();
+  int survived = 0;
+  for (int i = 0; i < kLines; ++i) {
+    survived += *reinterpret_cast<std::uint64_t*>(dev.base() +
+                                                  i * kCacheLineSize) == 1;
+  }
+  EXPECT_GT(survived, kLines / 8);
+  EXPECT_LT(survived, kLines * 7 / 8);
+}
+
+TEST(NvmDevice, StatsCountAccesses) {
+  nvm::Device dev(small_cfg());
+  auto* x = reinterpret_cast<std::uint64_t*>(dev.base());
+  dev.write(x, std::uint64_t{1});
+  (void)dev.read(x);
+  dev.clwb(x);
+  dev.drain();
+  EXPECT_EQ(dev.stats().stores.load(), 1u);
+  EXPECT_EQ(dev.stats().loads.load(), 1u);
+  EXPECT_EQ(dev.stats().clwbs.load(), 1u);
+  EXPECT_EQ(dev.stats().fences.load(), 1u);
+  EXPECT_EQ(dev.stats().media_line_writes.load(), 1u);
+}
+
+TEST(NvmDevice, XPLineAccountingCoalescesAdjacentLines) {
+  nvm::Device dev(small_cfg());
+  // Dirty 4 adjacent cache lines = 1 XPLine; flush in one fence batch.
+  for (int i = 0; i < 4; ++i) {
+    auto* p = reinterpret_cast<std::uint64_t*>(dev.base() +
+                                               i * kCacheLineSize);
+    dev.write(p, std::uint64_t{1});
+    dev.clwb(p);
+  }
+  dev.drain();
+  EXPECT_EQ(dev.stats().media_line_writes.load(), 4u);
+  EXPECT_EQ(dev.stats().media_xpline_writes.load(), 1u);
+}
+
+TEST(NvmDevice, XPLineAccountingCountsScatteredLines) {
+  nvm::Device dev(small_cfg());
+  for (int i = 0; i < 4; ++i) {
+    auto* p = reinterpret_cast<std::uint64_t*>(dev.base() +
+                                               i * kXPLineSize);
+    dev.write(p, std::uint64_t{1});
+    dev.clwb(p);
+  }
+  dev.drain();
+  EXPECT_EQ(dev.stats().media_xpline_writes.load(), 4u);
+}
+
+TEST(NvmDevice, ContainsChecksBounds) {
+  nvm::Device dev(small_cfg());
+  EXPECT_TRUE(dev.contains(dev.base()));
+  EXPECT_TRUE(dev.contains(dev.base() + dev.capacity() - 1));
+  EXPECT_FALSE(dev.contains(dev.base() + dev.capacity()));
+  int local;
+  EXPECT_FALSE(dev.contains(&local));
+}
+
+}  // namespace
+}  // namespace bdhtm
