@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_veb_persistence_cost"
+  "../bench/fig1_veb_persistence_cost.pdb"
+  "CMakeFiles/fig1_veb_persistence_cost.dir/fig1_veb_persistence_cost.cpp.o"
+  "CMakeFiles/fig1_veb_persistence_cost.dir/fig1_veb_persistence_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_veb_persistence_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

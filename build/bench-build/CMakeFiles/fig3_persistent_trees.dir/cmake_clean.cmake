@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_persistent_trees"
+  "../bench/fig3_persistent_trees.pdb"
+  "CMakeFiles/fig3_persistent_trees.dir/fig3_persistent_trees.cpp.o"
+  "CMakeFiles/fig3_persistent_trees.dir/fig3_persistent_trees.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_persistent_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_mwcas"
+  "../bench/fig4_mwcas.pdb"
+  "CMakeFiles/fig4_mwcas.dir/fig4_mwcas.cpp.o"
+  "CMakeFiles/fig4_mwcas.dir/fig4_mwcas.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_mwcas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_skiplist"
+  "../bench/fig5_skiplist.pdb"
+  "CMakeFiles/fig5_skiplist.dir/fig5_skiplist.cpp.o"
+  "CMakeFiles/fig5_skiplist.dir/fig5_skiplist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_skiplist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

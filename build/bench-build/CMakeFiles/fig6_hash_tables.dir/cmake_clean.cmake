@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_hash_tables"
+  "../bench/fig6_hash_tables.pdb"
+  "CMakeFiles/fig6_hash_tables.dir/fig6_hash_tables.cpp.o"
+  "CMakeFiles/fig6_hash_tables.dir/fig6_hash_tables.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hash_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

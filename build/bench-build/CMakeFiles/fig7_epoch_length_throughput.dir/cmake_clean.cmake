@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_epoch_length_throughput"
+  "../bench/fig7_epoch_length_throughput.pdb"
+  "CMakeFiles/fig7_epoch_length_throughput.dir/fig7_epoch_length_throughput.cpp.o"
+  "CMakeFiles/fig7_epoch_length_throughput.dir/fig7_epoch_length_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_epoch_length_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_epoch_length_space"
+  "../bench/fig8_epoch_length_space.pdb"
+  "CMakeFiles/fig8_epoch_length_space.dir/fig8_epoch_length_space.cpp.o"
+  "CMakeFiles/fig8_epoch_length_space.dir/fig8_epoch_length_space.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_epoch_length_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

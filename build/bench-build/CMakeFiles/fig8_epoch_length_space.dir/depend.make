@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_epoch_length_space.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec52_recovery"
+  "../bench/sec52_recovery.pdb"
+  "CMakeFiles/sec52_recovery.dir/sec52_recovery.cpp.o"
+  "CMakeFiles/sec52_recovery.dir/sec52_recovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

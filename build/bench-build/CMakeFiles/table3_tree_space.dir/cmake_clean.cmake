@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_tree_space"
+  "../bench/table3_tree_space.pdb"
+  "CMakeFiles/table3_tree_space.dir/table3_tree_space.cpp.o"
+  "CMakeFiles/table3_tree_space.dir/table3_tree_space.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_tree_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durability_modes.dir/durability_modes.cpp.o"
+  "CMakeFiles/durability_modes.dir/durability_modes.cpp.o.d"
+  "durability_modes"
+  "durability_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durability_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listing1_hashtable.dir/listing1_hashtable.cpp.o"
+  "CMakeFiles/listing1_hashtable.dir/listing1_hashtable.cpp.o.d"
+  "listing1_hashtable"
+  "listing1_hashtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listing1_hashtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

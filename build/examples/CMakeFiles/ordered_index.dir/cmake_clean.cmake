@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordered_index.dir/ordered_index.cpp.o"
+  "CMakeFiles/ordered_index.dir/ordered_index.cpp.o.d"
+  "ordered_index"
+  "ordered_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordered_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/pallocator.cpp" "src/CMakeFiles/bdhtm.dir/alloc/pallocator.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/alloc/pallocator.cpp.o.d"
+  "/root/repo/src/common/env.cpp" "src/CMakeFiles/bdhtm.dir/common/env.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/common/env.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/bdhtm.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/spin.cpp" "src/CMakeFiles/bdhtm.dir/common/spin.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/common/spin.cpp.o.d"
+  "/root/repo/src/common/threading.cpp" "src/CMakeFiles/bdhtm.dir/common/threading.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/common/threading.cpp.o.d"
+  "/root/repo/src/epoch/epoch_sys.cpp" "src/CMakeFiles/bdhtm.dir/epoch/epoch_sys.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/epoch/epoch_sys.cpp.o.d"
+  "/root/repo/src/hash/bd_spash.cpp" "src/CMakeFiles/bdhtm.dir/hash/bd_spash.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/hash/bd_spash.cpp.o.d"
+  "/root/repo/src/hash/cceh.cpp" "src/CMakeFiles/bdhtm.dir/hash/cceh.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/hash/cceh.cpp.o.d"
+  "/root/repo/src/hash/plush.cpp" "src/CMakeFiles/bdhtm.dir/hash/plush.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/hash/plush.cpp.o.d"
+  "/root/repo/src/hash/spash.cpp" "src/CMakeFiles/bdhtm.dir/hash/spash.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/hash/spash.cpp.o.d"
+  "/root/repo/src/htm/engine.cpp" "src/CMakeFiles/bdhtm.dir/htm/engine.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/htm/engine.cpp.o.d"
+  "/root/repo/src/nvm/device.cpp" "src/CMakeFiles/bdhtm.dir/nvm/device.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/nvm/device.cpp.o.d"
+  "/root/repo/src/skiplist/bdl_skiplist.cpp" "src/CMakeFiles/bdhtm.dir/skiplist/bdl_skiplist.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/skiplist/bdl_skiplist.cpp.o.d"
+  "/root/repo/src/skiplist/skiplists.cpp" "src/CMakeFiles/bdhtm.dir/skiplist/skiplists.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/skiplist/skiplists.cpp.o.d"
+  "/root/repo/src/sync/htm_mwcas.cpp" "src/CMakeFiles/bdhtm.dir/sync/htm_mwcas.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/sync/htm_mwcas.cpp.o.d"
+  "/root/repo/src/sync/mwcas.cpp" "src/CMakeFiles/bdhtm.dir/sync/mwcas.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/sync/mwcas.cpp.o.d"
+  "/root/repo/src/sync/pmwcas.cpp" "src/CMakeFiles/bdhtm.dir/sync/pmwcas.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/sync/pmwcas.cpp.o.d"
+  "/root/repo/src/sync/rdcss.cpp" "src/CMakeFiles/bdhtm.dir/sync/rdcss.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/sync/rdcss.cpp.o.d"
+  "/root/repo/src/trees/abtree.cpp" "src/CMakeFiles/bdhtm.dir/trees/abtree.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/trees/abtree.cpp.o.d"
+  "/root/repo/src/trees/lbtree.cpp" "src/CMakeFiles/bdhtm.dir/trees/lbtree.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/trees/lbtree.cpp.o.d"
+  "/root/repo/src/veb/htm_veb.cpp" "src/CMakeFiles/bdhtm.dir/veb/htm_veb.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/veb/htm_veb.cpp.o.d"
+  "/root/repo/src/veb/phtm_veb.cpp" "src/CMakeFiles/bdhtm.dir/veb/phtm_veb.cpp.o" "gcc" "src/CMakeFiles/bdhtm.dir/veb/phtm_veb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

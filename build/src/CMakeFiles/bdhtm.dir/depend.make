@@ -1,0 +1,2 @@
+# Empty dependencies file for bdhtm.
+# This may be replaced when dependencies are built.

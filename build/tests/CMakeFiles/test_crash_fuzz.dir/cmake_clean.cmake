@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crash_fuzz.dir/test_crash_fuzz.cpp.o"
+  "CMakeFiles/test_crash_fuzz.dir/test_crash_fuzz.cpp.o.d"
+  "test_crash_fuzz"
+  "test_crash_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crash_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

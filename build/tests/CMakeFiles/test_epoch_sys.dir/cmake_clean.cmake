@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epoch_sys.dir/test_epoch_sys.cpp.o"
+  "CMakeFiles/test_epoch_sys.dir/test_epoch_sys.cpp.o.d"
+  "test_epoch_sys"
+  "test_epoch_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epoch_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

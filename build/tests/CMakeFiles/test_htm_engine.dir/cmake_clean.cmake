@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_htm_engine.dir/test_htm_engine.cpp.o"
+  "CMakeFiles/test_htm_engine.dir/test_htm_engine.cpp.o.d"
+  "test_htm_engine"
+  "test_htm_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_htm_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

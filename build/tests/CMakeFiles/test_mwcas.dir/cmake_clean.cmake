@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mwcas.dir/test_mwcas.cpp.o"
+  "CMakeFiles/test_mwcas.dir/test_mwcas.cpp.o.d"
+  "test_mwcas"
+  "test_mwcas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mwcas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvm_device.dir/test_nvm_device.cpp.o"
+  "CMakeFiles/test_nvm_device.dir/test_nvm_device.cpp.o.d"
+  "test_nvm_device"
+  "test_nvm_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvm_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

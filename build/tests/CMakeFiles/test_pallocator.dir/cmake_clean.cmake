@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pallocator.dir/test_pallocator.cpp.o"
+  "CMakeFiles/test_pallocator.dir/test_pallocator.cpp.o.d"
+  "test_pallocator"
+  "test_pallocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pallocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_veb.dir/test_veb.cpp.o"
+  "CMakeFiles/test_veb.dir/test_veb.cpp.o.d"
+  "test_veb"
+  "test_veb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_veb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

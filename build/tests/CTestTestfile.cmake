@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_nvm_device "/root/repo/build/tests/test_nvm_device")
+set_tests_properties(test_nvm_device PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_htm_engine "/root/repo/build/tests/test_htm_engine")
+set_tests_properties(test_htm_engine PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_pallocator "/root/repo/build/tests/test_pallocator")
+set_tests_properties(test_pallocator PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_epoch_sys "/root/repo/build/tests/test_epoch_sys")
+set_tests_properties(test_epoch_sys PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mwcas "/root/repo/build/tests/test_mwcas")
+set_tests_properties(test_mwcas PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_veb "/root/repo/build/tests/test_veb")
+set_tests_properties(test_veb PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_skiplist "/root/repo/build/tests/test_skiplist")
+set_tests_properties(test_skiplist PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_hash "/root/repo/build/tests/test_hash")
+set_tests_properties(test_hash PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_trees "/root/repo/build/tests/test_trees")
+set_tests_properties(test_trees PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ebr "/root/repo/build/tests/test_ebr")
+set_tests_properties(test_ebr PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workload "/root/repo/build/tests/test_workload")
+set_tests_properties(test_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_crash_fuzz "/root/repo/build/tests/test_crash_fuzz")
+set_tests_properties(test_crash_fuzz PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
