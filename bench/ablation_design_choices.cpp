@@ -40,7 +40,9 @@ double run_bdspash(hash::BDSpash::PersistRouting routing,
   cfg.threads = 1;
   cfg.duration_ms = bench::bench_ms();
   workload::prefill(m, cfg);
-  return workload::run_workload(m, cfg).mops();
+  const double mops = workload::run_workload(m, cfg).mops();
+  bench::note_epoch_stats(es.stats());
+  return mops;
 }
 
 void ablation_routing() {
@@ -128,15 +130,52 @@ void ablation_capacity() {
   htm::configure(htm::EngineConfig{});
 }
 
+void ablation_coalescing() {
+  std::printf("\nD. Epoch write-back coalescing (BD-Spash, 1 thread, "
+              "write-heavy, zipf 0.99)\n");
+  std::printf("(the step-2 pipeline merges duplicate/adjacent buffered "
+              "lines before flushing;\n off = one flush per tracked "
+              "range, the pre-pipeline behaviour)\n");
+  std::printf("%-12s %12s %16s %14s %16s\n", "coalescing", "Mops",
+              "bytes flushed", "dedup factor", "mean advance us");
+  for (const bool coalesce : {false, true}) {
+    nvm::Device dev(bench::nvm_cfg(768ull << 20));
+    alloc::PAllocator pa(dev);
+    epoch::EpochSys::Config ecfg;
+    ecfg.epoch_length_us = 10'000;  // frequent transitions: many flushes
+    ecfg.coalesce_flushes = coalesce;
+    epoch::EpochSys es(pa, ecfg);
+    hash::BDSpash m(es);
+    workload::Config cfg = workload::Config::write_heavy();
+    cfg.key_space = 1 << 16;
+    cfg.zipf_theta = 0.99;
+    cfg.threads = 1;
+    cfg.duration_ms = bench::bench_ms();
+    workload::prefill(m, cfg);
+    const double mops = workload::run_workload(m, cfg).mops();
+    const auto& s = es.stats();
+    const auto epochs = s.epochs_advanced.load();
+    std::printf("%-12s %12.3f %16llu %14.2f %16.1f\n",
+                coalesce ? "on" : "off", mops,
+                static_cast<unsigned long long>(s.bytes_flushed.load()),
+                s.dedup_factor(),
+                epochs ? s.advance_ns_total.load() / 1e3 / epochs : 0.0);
+    std::fflush(stdout);
+    bench::note_epoch_stats(s);
+  }
+}
+
 }  // namespace
 
 int main() {
   bench::print_header(
       "Ablations: BD-Spash persist routing / Listing-1 preallocation "
-      "reuse / HTM capacity",
+      "reuse / HTM capacity / write-back coalescing",
       "design-choice studies backing DESIGN.md section 6");
   ablation_routing();
   ablation_prealloc();
   ablation_capacity();
+  ablation_coalescing();
+  bench::print_epoch_stats_summary();
   return 0;
 }

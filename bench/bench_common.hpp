@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/env.hpp"
+#include "epoch/epoch_sys.hpp"
 #include "nvm/device.hpp"
 
 namespace bdhtm::bench {
@@ -70,6 +71,57 @@ inline void print_row_header(const char* label,
   std::printf("%-22s", label);
   for (int t : threads) std::printf("  T=%-8d", t);
   std::printf("\n");
+}
+
+// ---- Epoch write-back pipeline stats (ISSUE 1) ----
+//
+// Figure drivers build one EpochSys per cell; each calls
+// note_epoch_stats() before the cell tears down and
+// print_epoch_stats_summary() at the end of main, so every BENCH_*.json
+// capture carries the dedup factor, flushed volume, and transition
+// latency of the write-back pipeline alongside the throughput table.
+
+struct EpochStatsAgg {
+  std::uint64_t epochs = 0;
+  std::uint64_t ranges = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t lines = 0;
+  std::uint64_t deduped = 0;
+  std::uint64_t flush_ns = 0;
+  std::uint64_t advance_ns = 0;
+};
+
+inline EpochStatsAgg& epoch_stats_agg() {
+  static EpochStatsAgg agg;
+  return agg;
+}
+
+inline void note_epoch_stats(const epoch::EpochStats& s) {
+  auto& a = epoch_stats_agg();
+  a.epochs += s.epochs_advanced.load(std::memory_order_relaxed);
+  a.ranges += s.ranges_flushed.load(std::memory_order_relaxed);
+  a.bytes += s.bytes_flushed.load(std::memory_order_relaxed);
+  a.lines += s.lines_flushed.load(std::memory_order_relaxed);
+  a.deduped += s.lines_deduped.load(std::memory_order_relaxed);
+  a.flush_ns += s.flush_ns_total.load(std::memory_order_relaxed);
+  a.advance_ns += s.advance_ns_total.load(std::memory_order_relaxed);
+}
+
+inline void print_epoch_stats_summary() {
+  const auto& a = epoch_stats_agg();
+  if (a.epochs == 0) return;
+  const double dedup =
+      a.lines > 0 ? double(a.lines + a.deduped) / double(a.lines) : 1.0;
+  std::printf(
+      "epoch-stats: epochs=%llu ranges_flushed=%llu lines_flushed=%llu "
+      "bytes_flushed=%llu dedup_factor=%.2f mean_advance_us=%.1f "
+      "mean_flush_us=%.1f\n",
+      static_cast<unsigned long long>(a.epochs),
+      static_cast<unsigned long long>(a.ranges),
+      static_cast<unsigned long long>(a.lines),
+      static_cast<unsigned long long>(a.bytes), dedup,
+      a.advance_ns / 1e3 / static_cast<double>(a.epochs),
+      a.flush_ns / 1e3 / static_cast<double>(a.epochs));
 }
 
 }  // namespace bdhtm::bench

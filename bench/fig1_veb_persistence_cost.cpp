@@ -45,7 +45,9 @@ double run_phtm_veb(int ubits, double theta, int threads) {
   veb::PHTMvEB tree(es, ubits);
   auto cfg = base_cfg(ubits, theta, threads);
   workload::prefill(tree, cfg);
-  return workload::run_workload(tree, cfg).mops();
+  const double mops = workload::run_workload(tree, cfg).mops();
+  bench::note_epoch_stats(es.stats());
+  return mops;
 }
 
 }  // namespace
@@ -69,5 +71,6 @@ int main() {
     }
     std::printf("\n");
   }
+  bench::print_epoch_stats_summary();
   return 0;
 }

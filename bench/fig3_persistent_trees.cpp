@@ -40,7 +40,9 @@ double run_phtm(int ubits, const workload::Config& cfg) {
   epoch::EpochSys es(pa);
   veb::PHTMvEB tree(es, ubits);
   workload::prefill(tree, cfg);
-  return workload::run_workload(tree, cfg).mops();
+  const double mops = workload::run_workload(tree, cfg).mops();
+  bench::note_epoch_stats(es.stats());
+  return mops;
 }
 
 template <typename Tree>
@@ -100,5 +102,6 @@ int main() {
     }
     std::printf("\n");
   }
+  bench::print_epoch_stats_summary();
   return 0;
 }

@@ -51,6 +51,11 @@ struct TBundle {
   skiplist::TSkiplist& operator*() { return *sl; }
 };
 struct NvmBundle {
+  // Capture epoch-pipeline stats just before the cell tears down (the
+  // epoch system, when one exists, is still alive here).
+  ~NvmBundle() {
+    if (es) bench::note_epoch_stats(es->stats());
+  }
   std::unique_ptr<nvm::Device> dev;
   std::unique_ptr<alloc::PAllocator> pa;
   std::unique_ptr<skiplist::PSkiplistNoFlush> nf;
@@ -147,5 +152,6 @@ int main() {
     std::fflush(stdout);
   }
   std::printf("\n");
+  bench::print_epoch_stats_summary();
   return 0;
 }

@@ -52,7 +52,9 @@ double run_bdspash(std::uint64_t keys, const workload::Config& cfg) {
   epoch::EpochSys es(pa, ecfg);
   hash::BDSpash m(es);
   workload::prefill(m, cfg);
-  return workload::run_workload(m, cfg).mops();
+  const double mops = workload::run_workload(m, cfg).mops();
+  bench::note_epoch_stats(es.stats());
+  return mops;
 }
 
 double run_cceh(std::uint64_t keys, const workload::Config& cfg) {
@@ -124,5 +126,6 @@ int main() {
     }
     std::printf("\n");
   }
+  bench::print_epoch_stats_summary();
   return 0;
 }

@@ -42,6 +42,7 @@ double run_cell(int ubits, double theta, std::uint64_t epoch_us,
   workload::prefill(tree, cfg);
   htm::reset_stats();
   const double mops = workload::run_workload(tree, cfg).mops();
+  bench::note_epoch_stats(es.stats());
   const auto s = htm::collect_stats();
   *abort_pct = s.attempts() > 0
                    ? 100.0 * s.total_aborts() / s.attempts()
@@ -85,5 +86,6 @@ int main() {
     }
     std::printf("   (max abort share %.2f%%)\n", worst_abort);
   }
+  bench::print_epoch_stats_summary();
   return 0;
 }

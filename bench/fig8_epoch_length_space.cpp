@@ -37,6 +37,7 @@ double run_cell_mib(int ubits, double theta, std::uint64_t epoch_us) {
   cfg.duration_ms = bench::bench_ms();
   workload::prefill(tree, cfg);
   workload::run_workload(tree, cfg);
+  bench::note_epoch_stats(es.stats());
   // Peak-ish footprint during the run: measure before settling.
   return tree.nvm_bytes() / (1024.0 * 1024.0);
 }
@@ -74,5 +75,6 @@ int main() {
     }
     std::printf("\n");
   }
+  bench::print_epoch_stats_summary();
   return 0;
 }

@@ -61,6 +61,7 @@ void study(const char* name, std::size_t cap, MakeTree&& make, Fill&& fill,
       auto structure = make(*w.es);
       fill(*structure);
       w.es->persist_all();
+      bench::note_epoch_stats(w.es->stats());
     }
     reattach(w);
     const std::uint64_t t0 = now_ns();
@@ -118,5 +119,6 @@ int main() {
       fill_n,
       [](hash::BDSpash& t, int threads) { return t.recover(threads); });
 
+  bench::print_epoch_stats_summary();
   return 0;
 }

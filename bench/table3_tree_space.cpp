@@ -55,6 +55,7 @@ int main() {
     veb::PHTMvEB t(es, ubits);
     workload::prefill(t, fill_cfg(ubits));
     es.persist_all();  // settle pending reclamation before measuring
+    bench::note_epoch_stats(es.stats());
     std::printf("%-12s %12.1f %12.1f\n", "PHTM-vEB", mib(t.dram_bytes()),
                 mib(t.nvm_bytes()));
   }
@@ -82,5 +83,6 @@ int main() {
     std::printf("%-12s %12.1f %12.1f\n", "OCC-Tree", 0.0,
                 mib(t.nvm_bytes()));
   }
+  bench::print_epoch_stats_summary();
   return 0;
 }

@@ -30,4 +30,14 @@ struct alignas(kCacheLineSize) Padded {
   T value{};
 };
 
+/// Marks functions that deliberately race with program stores to model
+/// hardware (the simulated device copying a cache line to media while the
+/// CPU keeps storing to it — real caches do exactly that). Keeps
+/// BDHTM_SANITIZE=thread builds focused on genuine synchronization bugs.
+#if defined(__GNUC__) || defined(__clang__)
+#define BDHTM_NO_SANITIZE_THREAD __attribute__((no_sanitize("thread")))
+#else
+#define BDHTM_NO_SANITIZE_THREAD
+#endif
+
 }  // namespace bdhtm

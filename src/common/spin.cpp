@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <thread>
 
 namespace bdhtm {
 namespace {
@@ -43,6 +44,15 @@ void spin_for_ns(std::uint32_t ns) {
     rate = g_iters_per_ns.load(std::memory_order_acquire);
   }
   spin_iters(static_cast<std::uint64_t>(rate * ns) + 1);
+}
+
+void Backoff::pause() {
+  if (cur_ >= max_) {
+    std::this_thread::yield();
+    return;
+  }
+  spin_for_ns(cur_);
+  cur_ *= 2;
 }
 
 }  // namespace bdhtm

@@ -16,4 +16,21 @@ void spin_for_ns(std::uint32_t ns);
 /// Monotonic wall-clock in nanoseconds.
 std::uint64_t now_ns();
 
+/// Bounded exponential backoff for spin-wait loops (e.g. the epoch
+/// advancer waiting out in-flight operations). Starts with a short
+/// calibrated spin, doubles up to `max_ns`, then yields the CPU on every
+/// pause so a descheduled peer can run — essential on oversubscribed or
+/// single-core machines, where raw yield loops burn the peer's timeslice.
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t min_ns = 128, std::uint32_t max_ns = 32'768)
+      : cur_(min_ns), max_(max_ns) {}
+  void pause();
+  void reset(std::uint32_t min_ns = 128) { cur_ = min_ns; }
+
+ private:
+  std::uint32_t cur_;
+  std::uint32_t max_;
+};
+
 }  // namespace bdhtm

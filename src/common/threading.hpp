@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 
 namespace bdhtm {
 
@@ -22,5 +24,33 @@ int max_thread_id_seen();
 /// Reset the id counter. Only safe between test cases when all previously
 /// registered worker threads have been joined.
 void reset_thread_ids_for_testing();
+
+/// Small fixed-size helper pool for fork/join work bursts — built for the
+/// epoch advancer's parallel write-back fan-out, usable by any caller with
+/// the same shape: one coordinator that occasionally has an embarrassingly
+/// parallel batch and must barrier before proceeding.
+///
+/// `run(parties, job)` invokes `job(0) .. job(parties-1)`; part 0 executes
+/// on the calling thread, the rest on pool threads, and the call returns
+/// only after every part finished (the barrier the epoch transition's
+/// step-2 -> step-3 ordering needs). `parties` is clamped to
+/// `1 + workers()`. With a single party the job runs inline with zero
+/// synchronization. Only one run() may be active at a time.
+class FlusherPool {
+ public:
+  /// Spawns `workers` helper threads (0 is valid: run() degenerates to an
+  /// inline loop).
+  explicit FlusherPool(int workers);
+  ~FlusherPool();
+  FlusherPool(const FlusherPool&) = delete;
+  FlusherPool& operator=(const FlusherPool&) = delete;
+
+  int workers() const;
+  void run(int parties, const std::function<void(int)>& job);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace bdhtm

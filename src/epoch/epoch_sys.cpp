@@ -1,23 +1,41 @@
 #include "epoch/epoch_sys.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
+
+#include "common/spin.hpp"
 
 namespace bdhtm::epoch {
 
 namespace {
 constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+int resolve_flusher_threads(int configured) {
+  if (configured > 0) return std::min(configured, kMaxThreads);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 4u));
 }
+}  // namespace
 
 EpochSys::EpochSys(alloc::PAllocator& pa) : EpochSys(pa, Config{}) {}
 
 EpochSys::EpochSys(alloc::PAllocator& pa, const Config& cfg)
-    : pa_(pa), epoch_length_us_(cfg.epoch_length_us) {
+    : pa_(pa),
+      epoch_length_us_(cfg.epoch_length_us),
+      flusher_threads_(resolve_flusher_threads(cfg.flusher_threads)),
+      coalesce_flushes_(cfg.coalesce_flushes) {
   announce_ =
       std::make_unique<Padded<std::atomic<std::uint64_t>>[]>(kMaxThreads);
   for (int t = 0; t < kMaxThreads; ++t) {
     announce_[t].value.store(kIdle, std::memory_order_relaxed);
   }
   tstate_ = std::make_unique<Padded<ThreadState>[]>(kMaxThreads);
+  stolen_tracked_ = std::make_unique<std::vector<TrackedRange>[]>(kMaxThreads);
+  stolen_retired_ = std::make_unique<std::vector<void*>[]>(kMaxThreads);
+  if (flusher_threads_ > 1) {
+    flushers_ = std::make_unique<FlusherPool>(flusher_threads_ - 1);
+  }
 
   if (cfg.attach) {
     assert(root()->magic == kRootMagic &&
@@ -33,11 +51,19 @@ EpochSys::EpochSys(alloc::PAllocator& pa, const Config& cfg)
 
   if (cfg.start_advancer) {
     advancer_ = std::jthread([this](std::stop_token st) {
+      // The interruptible wait (instead of a bare sleep_for) lets
+      // request_stop() cut both the inter-epoch sleep and — via the
+      // stop-token-aware advance() — a step-1 wait stalled behind an
+      // announced thread, so destruction never hangs.
+      std::mutex mu;
+      std::condition_variable_any cv;
+      std::unique_lock lk(mu);
       while (!st.stop_requested()) {
         const auto us = epoch_length_us_.load(std::memory_order_relaxed);
-        std::this_thread::sleep_for(std::chrono::microseconds(us));
+        cv.wait_for(lk, st, std::chrono::microseconds(us),
+                    [] { return false; });
         if (st.stop_requested()) break;
-        advance();
+        advance(st);
       }
     });
   }
@@ -150,53 +176,55 @@ void EpochSys::pTrack(void* payload) {
       {hdr, static_cast<std::uint32_t>(sizeof(*hdr) + hdr->user_size)});
 }
 
-void EpochSys::advance() {
+void EpochSys::advance() { advance(std::stop_token{}); }
+
+void EpochSys::advance(const std::stop_token& st) {
+  const std::uint64_t t_begin = now_ns();
   // Transitions are serialized: the background advancer and explicit
   // advance()/persist_all() callers may overlap.
   std::scoped_lock lk(advance_mu_);
   const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
 
   // (1) Wait for in-flight operations of epoch e-1 to complete. New
-  // operations keep starting in the active epoch e meanwhile.
+  // operations keep starting in the active epoch e meanwhile. Bounded
+  // exponential backoff instead of a raw yield loop: announced threads
+  // need the CPU more than the advancer does, and the stop-token check
+  // lets shutdown abandon the transition instead of hanging behind a
+  // stalled thread.
   const int nthreads = max_thread_id_seen();
   for (int t = 0; t < nthreads; ++t) {
     auto& slot = announce_[t].value;
+    Backoff backoff;
     while (true) {
       const std::uint64_t a = slot.load(std::memory_order_seq_cst);
       if (a == kIdle || a >= e) break;
-      std::this_thread::yield();
+      if (st.stop_requested()) return;  // abandoned: no epoch published
+      backoff.pause();
     }
   }
 
-  // (2) Flush everything buffered in epoch e-1; persist DELETED headers
-  // of blocks retired in e-1, and queue those blocks for reclamation one
-  // transition later.
+  // (2) The write-back pipeline: steal the per-thread buffers of epoch
+  // e-1 (O(1) swaps with recycled spares — operation threads get their
+  // capacity back and the flusher walks memory no operation thread
+  // touches), then coalesce and flush them. Retired blocks are queued
+  // for reclamation one transition later; their DELETED headers join the
+  // same flush.
   const std::size_t slot_idx = (e - 1) % 4;
   nvm::Device& dev = pa_.device();
   const bool do_flush = buffering_enabled();
   for (int t = 0; t < nthreads; ++t) {
     ThreadState& ts = tstate_[t].value;
-    if (do_flush) {
-      for (const TrackedRange& r : ts.epoch_tracked[slot_idx]) {
-        // Forced flush: tracked ranges may have been written through the
-        // HTM engine's commit path, which does not always mark lines
-        // dirty at byte granularity.
-        dev.flush_range_to_media(r.addr, r.len);
-        stats_.ranges_flushed.fetch_add(1, std::memory_order_relaxed);
-        stats_.bytes_flushed.fetch_add(r.len, std::memory_order_relaxed);
-      }
-      for (void* p : ts.epoch_retired[slot_idx]) {
-        auto* hdr = alloc::PAllocator::header_of(p);
-        dev.flush_range_to_media(hdr, sizeof(*hdr));
-      }
-    }
-    ts.epoch_tracked[slot_idx].clear();
+    ts.epoch_tracked[slot_idx].swap(stolen_tracked_[t]);
+    ts.epoch_retired[slot_idx].swap(stolen_retired_[t]);
     pending_free_[slot_idx].insert(pending_free_[slot_idx].end(),
-                                   ts.epoch_retired[slot_idx].begin(),
-                                   ts.epoch_retired[slot_idx].end());
-    ts.epoch_retired[slot_idx].clear();
+                                   stolen_retired_[t].begin(),
+                                   stolen_retired_[t].end());
   }
-  if (do_flush) dev.drain();
+  if (do_flush) flush_stolen_buffers(nthreads);
+  for (int t = 0; t < nthreads; ++t) {
+    stolen_tracked_[t].clear();
+    stolen_retired_[t].clear();
+  }
 
   // (3) Persist the epoch counter, (4) publish the new epoch.
   root()->persisted_epoch = e + 1;
@@ -222,6 +250,106 @@ void EpochSys::advance() {
   }
   to_free.clear();
   stats_.epochs_advanced.fetch_add(1, std::memory_order_relaxed);
+
+  // Transition-latency accounting (EXPERIMENTS.md reports mean/min/max).
+  const std::uint64_t dur = now_ns() - t_begin;
+  stats_.advance_ns_total.fetch_add(dur, std::memory_order_relaxed);
+  std::uint64_t mn = stats_.advance_ns_min.load(std::memory_order_relaxed);
+  while (dur < mn && !stats_.advance_ns_min.compare_exchange_weak(
+                         mn, dur, std::memory_order_relaxed)) {
+  }
+  std::uint64_t mx = stats_.advance_ns_max.load(std::memory_order_relaxed);
+  while (dur > mx && !stats_.advance_ns_max.compare_exchange_weak(
+                         mx, dur, std::memory_order_relaxed)) {
+  }
+}
+
+void EpochSys::flush_stolen_buffers(int nthreads) {
+  // Convert every stolen range (and every retired block's header) to a
+  // run of cache lines. Tracked ranges are flushed unconditionally: they
+  // may have been written through the HTM engine's commit path, which
+  // does not always mark lines dirty at byte granularity.
+  nvm::Device& dev = pa_.device();
+  const std::uint64_t t_flush = now_ns();
+  runs_.clear();
+  std::uint64_t raw_lines = 0;
+  std::uint64_t n_ranges = 0;
+  auto add_range = [&](const void* addr, std::size_t len) {
+    const std::size_t first = dev.line_index(addr);
+    const std::size_t last =
+        dev.line_index(static_cast<const std::byte*>(addr) + len - 1);
+    runs_.push_back({first, last - first + 1});
+    raw_lines += last - first + 1;
+  };
+  for (int t = 0; t < nthreads; ++t) {
+    for (const TrackedRange& r : stolen_tracked_[t]) {
+      add_range(r.addr, r.len);
+      ++n_ranges;
+    }
+    for (void* p : stolen_retired_[t]) {
+      auto* hdr = alloc::PAllocator::header_of(p);
+      add_range(hdr, sizeof(*hdr));
+    }
+  }
+  if (runs_.empty()) {
+    dev.drain();
+    return;
+  }
+
+  // Coalesce to cache-line granularity: sort and merge duplicate,
+  // overlapping, and adjacent runs into maximal disjoint runs, so a line
+  // written by N operations in the epoch is flushed once and contiguous
+  // lines become a single bulk media write (which the device further
+  // coalesces into XPLine-granularity accesses).
+  std::uint64_t flush_lines = raw_lines;
+  if (coalesce_flushes_) {
+    std::sort(runs_.begin(), runs_.end(),
+              [](const LineRun& a, const LineRun& b) {
+                return a.first < b.first;
+              });
+    std::size_t out = 0;
+    for (std::size_t i = 1; i < runs_.size(); ++i) {
+      LineRun& cur = runs_[out];
+      const LineRun& nxt = runs_[i];
+      if (nxt.first <= cur.first + cur.count) {  // overlap or adjacency
+        cur.count = std::max(cur.count, nxt.first + nxt.count - cur.first);
+      } else {
+        runs_[++out] = nxt;
+      }
+    }
+    runs_.resize(out + 1);
+    flush_lines = 0;
+    for (const LineRun& r : runs_) flush_lines += r.count;
+  }
+
+  // Fan the merged runs out across the flusher pool (runs are disjoint,
+  // so flushers never write the same media line). run() barriers before
+  // returning: nothing after this point can precede a flush, which is
+  // the step-2 -> step-3 ordering the BDL guarantee rests on.
+  const int parties = std::min<std::size_t>(
+      flushers_ ? flusher_threads_ : 1, runs_.size());
+  if (parties <= 1) {
+    for (const LineRun& r : runs_) {
+      dev.flush_line_run_to_media(r.first, r.count);
+    }
+  } else {
+    flushers_->run(parties, [&](int part) {
+      for (std::size_t i = static_cast<std::size_t>(part); i < runs_.size();
+           i += static_cast<std::size_t>(parties)) {
+        dev.flush_line_run_to_media(runs_[i].first, runs_[i].count);
+      }
+    });
+  }
+  dev.drain();
+
+  stats_.ranges_flushed.fetch_add(n_ranges, std::memory_order_relaxed);
+  stats_.lines_flushed.fetch_add(flush_lines, std::memory_order_relaxed);
+  stats_.bytes_flushed.fetch_add(flush_lines * kCacheLineSize,
+                                 std::memory_order_relaxed);
+  stats_.lines_deduped.fetch_add(raw_lines - flush_lines,
+                                 std::memory_order_relaxed);
+  stats_.flush_ns_total.fetch_add(now_ns() - t_flush,
+                                  std::memory_order_relaxed);
 }
 
 void EpochSys::persist_all() {

@@ -32,6 +32,13 @@
 //   5. reclaim blocks retired in e-1 (their replacements are now durable
 //      and the persisted counter proves it).
 //
+// Step 2 runs as a write-back *pipeline* (DESIGN.md §3, "Write-back
+// pipeline"): the per-thread buffers are stolen by pointer swap, the
+// stolen ranges are coalesced to cache-line granularity (duplicate lines
+// flushed once, adjacent lines merged into bulk runs), and the merged
+// runs fan out across a small flusher pool. A barrier before step 3
+// preserves the flush-before-counter ordering the BDL proof needs.
+//
 // On an eADR device (persistent cache) flushing is unnecessary; the epoch
 // system disables its write-back work and keeps only the epoch clock and
 // deferred reclamation, as §4.3 describes for BD-Spash.
@@ -41,6 +48,7 @@
 #include <cassert>
 #include <cstdint>
 #include <mutex>
+#include <stop_token>
 #include <thread>
 #include <vector>
 
@@ -62,10 +70,35 @@ inline constexpr std::uint8_t kLockedException = 0x52;
 
 struct EpochStats {
   std::atomic<std::uint64_t> epochs_advanced{0};
+  /// Tracked ranges handed to the write-back pipeline (pre-coalescing).
   std::atomic<std::uint64_t> ranges_flushed{0};
+  /// Bytes actually written back to the media by the pipeline
+  /// (lines_flushed * 64): the number coalescing reduces.
   std::atomic<std::uint64_t> bytes_flushed{0};
+  /// Cache lines written back to the media.
+  std::atomic<std::uint64_t> lines_flushed{0};
+  /// Redundant line flushes eliminated by coalescing (duplicate or
+  /// overlapping lines within one epoch's buffered writes).
+  std::atomic<std::uint64_t> lines_deduped{0};
+  /// Wall time spent in the flush phase of step 2 (coalesce + fan-out +
+  /// barrier + drain), across all transitions.
+  std::atomic<std::uint64_t> flush_ns_total{0};
+  /// Per-transition advance() duration: total/min/max for latency
+  /// reporting (mean = total / epochs_advanced).
+  std::atomic<std::uint64_t> advance_ns_total{0};
+  std::atomic<std::uint64_t> advance_ns_min{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> advance_ns_max{0};
   std::atomic<std::uint64_t> blocks_retired{0};
   std::atomic<std::uint64_t> blocks_reclaimed{0};
+
+  /// Redundancy eliminated: raw buffered lines / lines actually flushed.
+  double dedup_factor() const {
+    const double flushed =
+        static_cast<double>(lines_flushed.load(std::memory_order_relaxed));
+    const double deduped =
+        static_cast<double>(lines_deduped.load(std::memory_order_relaxed));
+    return flushed > 0 ? (flushed + deduped) / flushed : 1.0;
+  }
 };
 
 class EpochSys {
@@ -78,6 +111,16 @@ class EpochSys {
     /// Attach to an existing (crashed) heap instead of formatting a new
     /// root; the caller must run recover() before any operation.
     bool attach = false;
+    /// Write-back pipeline width: how many threads flush the coalesced
+    /// line runs of step 2 (the advancer itself plus flusher_threads - 1
+    /// pool helpers). 1 = flush inline on the advancer (the pre-pipeline
+    /// behaviour); 0 = auto (hardware concurrency, clamped to [1, 4]).
+    int flusher_threads = 0;
+    /// Coalesce buffered ranges to cache-line granularity before
+    /// flushing: duplicate lines are flushed once per transition and
+    /// adjacent lines merge into bulk line runs. Off reproduces the
+    /// naive one-flush-per-tracked-range behaviour.
+    bool coalesce_flushes = true;
   };
 
   /// Fresh heap: formats the persistent root. Pass Config{.attach=true}
@@ -166,6 +209,12 @@ class EpochSys {
 
   /// One epoch transition (the advancer calls this once per epoch length).
   void advance();
+
+  /// Stoppable variant used by the background advancer: if `st` is
+  /// signalled while step 1 waits out a stalled announced thread, the
+  /// transition is abandoned (no epoch is published) so shutdown cannot
+  /// hang behind it.
+  void advance(const std::stop_token& st);
 
   /// Advance until everything buffered so far is durable. Callers must
   /// have quiesced operations. Used before planned shutdown and by the
@@ -260,10 +309,18 @@ class EpochSys {
   // First usable epoch: recovery_frontier(kFirstEpoch) must not underflow.
   static constexpr std::uint64_t kFirstEpoch = 2;
 
+  /// A maximal run of cache lines to write back (the unit of work the
+  /// flusher pool distributes).
+  struct LineRun {
+    std::size_t first;
+    std::size_t count;
+  };
+
   PersistentRoot* root();
   const PersistentRoot* root() const;
   void persist_root();
   ThreadState& tstate() { return tstate_[thread_id()].value; }
+  void flush_stolen_buffers(int nthreads);
 
   alloc::PAllocator& pa_;
   std::mutex advance_mu_;
@@ -274,6 +331,19 @@ class EpochSys {
   std::atomic<std::uint64_t> epoch_length_us_;
   std::unique_ptr<Padded<std::atomic<std::uint64_t>>[]> announce_;
   std::unique_ptr<Padded<ThreadState>[]> tstate_;
+
+  // ---- Write-back pipeline state (touched only under advance_mu_) ----
+  // Recycled spares the per-thread buffers are swapped into at the start
+  // of step 2: stealing is O(1) per thread, operation threads get empty
+  // buffers with retained capacity back, and the flusher walks memory no
+  // operation thread touches. Cleared (not freed) after each transition.
+  std::unique_ptr<std::vector<TrackedRange>[]> stolen_tracked_;
+  std::unique_ptr<std::vector<void*>[]> stolen_retired_;
+  std::vector<LineRun> runs_;  // transition-local work list, recycled
+  int flusher_threads_;
+  bool coalesce_flushes_;
+  std::unique_ptr<FlusherPool> flushers_;  // only when flusher_threads_ > 1
+
   EpochStats stats_;
   std::jthread advancer_;  // last member: joins before the rest dies
 };

@@ -85,6 +85,7 @@ void Device::clwb_nontxn(const void* addr) {
   pending_[thread_id()].value.lines.push_back(line);
 }
 
+BDHTM_NO_SANITIZE_THREAD
 void Device::flush_line_to_media(std::size_t line) {
   std::memcpy(media_ + line * kCacheLineSize,
               working_ + line * kCacheLineSize, kCacheLineSize);
@@ -151,6 +152,28 @@ void Device::flush_range_to_media(const void* addr, std::size_t len) {
   constexpr std::size_t kLinesPerXP = kXPLineSize / kCacheLineSize;
   std::size_t last_xp = ~std::size_t{0};
   for (std::size_t l = first; l <= last; ++l) {
+    if (cfg_.flush_ns != 0) spin_for_ns(cfg_.flush_ns);
+    stats_.clwbs.fetch_add(1, std::memory_order_relaxed);
+    flush_line_to_media(l);
+    const std::size_t xp = l / kLinesPerXP;
+    if (xp != last_xp) {
+      stats_.media_xpline_writes.fetch_add(1, std::memory_order_relaxed);
+      last_xp = xp;
+    }
+    // Demote pending/dirty to clean; a racing store re-dirties afterwards
+    // and will be covered by its own epoch's flush.
+    line_state_[l].store(kClean, std::memory_order_release);
+  }
+  stats_.fences.fetch_add(1, std::memory_order_relaxed);
+  if (cfg_.fence_ns != 0) spin_for_ns(cfg_.fence_ns);
+}
+
+void Device::flush_line_run_to_media(std::size_t first_line, std::size_t n) {
+  assert(n > 0 && first_line + n <= n_lines_);
+  if (cfg_.eadr) return;
+  constexpr std::size_t kLinesPerXP = kXPLineSize / kCacheLineSize;
+  std::size_t last_xp = ~std::size_t{0};
+  for (std::size_t l = first_line; l < first_line + n; ++l) {
     if (cfg_.flush_ns != 0) spin_for_ns(cfg_.flush_ns);
     stats_.clwbs.fetch_add(1, std::memory_order_relaxed);
     flush_line_to_media(l);

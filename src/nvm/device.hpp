@@ -136,6 +136,27 @@ class Device {
   /// inside a transaction.
   void flush_range_to_media(const void* addr, std::size_t len);
 
+  // ---- Bulk line-run write-back (epoch write-back pipeline) ----
+  //
+  // The epoch advancer coalesces tracked ranges into sorted, disjoint
+  // runs of cache lines and fans them out across flusher threads; each
+  // run becomes one bulk call here. Accounting is identical to an
+  // equivalent flush_range_to_media call (per-line clwb + latency,
+  // XPLine-granularity media-access coalescing, one fence per call), so
+  // a single-flusher no-coalesce pipeline reproduces the naive
+  // per-range behaviour exactly.
+
+  /// Index of the cache line containing p (for building line runs).
+  std::size_t line_index(const void* p) const {
+    return line_of(offset_of(p));
+  }
+  std::size_t n_lines() const { return n_lines_; }
+
+  /// Write lines [first_line, first_line + n) back to the media. Safe to
+  /// call concurrently from multiple flusher threads as long as their
+  /// runs are disjoint. Never called inside a transaction.
+  void flush_line_run_to_media(std::size_t first_line, std::size_t n);
+
   // ---- Crash machinery ----
 
   /// Power-failure simulation. Caller must have quiesced all worker
