@@ -89,6 +89,8 @@ struct EpochStatsAgg {
   std::uint64_t deduped = 0;
   std::uint64_t flush_ns = 0;
   std::uint64_t advance_ns = 0;
+  std::uint64_t watchdog_trips = 0;
+  std::uint64_t inline_advances = 0;
 };
 
 inline EpochStatsAgg& epoch_stats_agg() {
@@ -105,6 +107,8 @@ inline void note_epoch_stats(const epoch::EpochStats& s) {
   a.deduped += s.lines_deduped.load(std::memory_order_relaxed);
   a.flush_ns += s.flush_ns_total.load(std::memory_order_relaxed);
   a.advance_ns += s.advance_ns_total.load(std::memory_order_relaxed);
+  a.watchdog_trips += s.watchdog_trips.load(std::memory_order_relaxed);
+  a.inline_advances += s.inline_advances.load(std::memory_order_relaxed);
 }
 
 inline void print_epoch_stats_summary() {
@@ -122,6 +126,14 @@ inline void print_epoch_stats_summary() {
       static_cast<unsigned long long>(a.bytes), dedup,
       a.advance_ns / 1e3 / static_cast<double>(a.epochs),
       a.flush_ns / 1e3 / static_cast<double>(a.epochs));
+  if (a.watchdog_trips != 0 || a.inline_advances != 0) {
+    // Nonzero means the background advancer fell behind its watchdog
+    // deadline during the run and workers drove transitions inline —
+    // the cell's latency numbers include degraded-mode epochs.
+    std::printf("epoch-stats: watchdog_trips=%llu inline_advances=%llu\n",
+                static_cast<unsigned long long>(a.watchdog_trips),
+                static_cast<unsigned long long>(a.inline_advances));
+  }
 }
 
 }  // namespace bdhtm::bench

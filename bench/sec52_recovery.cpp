@@ -74,6 +74,67 @@ void study(const char* name, std::size_t cap, MakeTree&& make, Fill&& fill,
   }
 }
 
+// Recovery under media corruption (DESIGN.md §5, "Corruption model"):
+// drop a fraction of the media lines ever written, then time the
+// hardened attach + recovery scan and report how much data the
+// quarantine machinery sacrificed to keep the scan safe. BD-Spash is the
+// subject: its recovery tolerates arbitrary surviving keys (a corrupted
+// payload key would be out of range for the vEB's fixed universe).
+void corruption_sweep(std::uint64_t records, int ubits, std::size_t cap) {
+  std::printf("\nrecovery under corruption (BD-Spash, dropped + "
+              "bit-flipped media lines):\n");
+  std::uint64_t clean_records = 0;
+  for (const double frac : {0.0, 0.001, 0.01, 0.05}) {
+    World w = fresh_world(cap);
+    {
+      hash::BDSpash m(*w.es);
+      for (std::uint64_t i = 0; i < records; ++i) {
+        m.insert((i * 0x9e3779b97f4a7c15ULL) % (std::uint64_t{1} << ubits),
+                 i);
+      }
+      w.es->persist_all();
+    }
+    w.es.reset();
+    w.dev->simulate_crash();
+    // Mix failure modes: dropped lines (read as zeros -> silently lost
+    // free-looking blocks) and bit flips (caught by the header checksum
+    // -> quarantined), so both loss paths appear in the table.
+    nvm::MediaCorruption c;
+    const auto budget = static_cast<std::uint32_t>(
+        frac * static_cast<double>(w.dev->media_lines_written()));
+    c.dropped_lines = budget - budget / 4;
+    c.bit_flips = budget / 4;
+    c.seed = 0xc0de + static_cast<std::uint64_t>(frac * 1e4);
+    const std::uint64_t hit = w.dev->corrupt_media(c);
+
+    const std::uint64_t t0 = now_ns();
+    w.pa = std::make_unique<alloc::PAllocator>(
+        *w.dev, alloc::PAllocator::Mode::kAttach);
+    epoch::EpochSys::Config ecfg;
+    ecfg.start_advancer = false;
+    ecfg.attach = true;
+    w.es = std::make_unique<epoch::EpochSys>(*w.pa, ecfg);
+    hash::BDSpash rec(*w.es);
+    const std::size_t n = rec.recover(1);
+    const std::uint64_t t1 = now_ns();
+
+    const auto& rep = w.es->last_recovery();
+    if (frac == 0.0) clean_records = n;
+    const std::uint64_t lost = clean_records > n ? clean_records - n : 0;
+    std::printf(
+        "  corrupt=%5.1f%% lines_hit=%-7llu recovery=%8.1f ms "
+        "recovered=%-9zu pairs_lost=%-7llu quarantined=%-6llu "
+        "(checksum=%llu epoch=%llu superblocks=%llu)\n",
+        frac * 100.0, static_cast<unsigned long long>(hit), (t1 - t0) / 1e6,
+        n, static_cast<unsigned long long>(lost),
+        static_cast<unsigned long long>(rep.blocks_quarantined),
+        static_cast<unsigned long long>(rep.checksum_failures),
+        static_cast<unsigned long long>(rep.epoch_violations),
+        static_cast<unsigned long long>(rep.superblocks_quarantined));
+    std::fflush(stdout);
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -118,6 +179,8 @@ int main() {
       },
       fill_n,
       [](hash::BDSpash& t, int threads) { return t.recover(threads); });
+
+  corruption_sweep(records, ubits, cap);
 
   bench::print_epoch_stats_summary();
   return 0;

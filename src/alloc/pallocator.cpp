@@ -100,6 +100,8 @@ void* PAllocator::init_block(std::uint64_t payload_off, std::size_t cls,
   hdr->create_epoch = kInvalidEpoch;
   hdr->delete_epoch = kInvalidEpoch;
   hdr->user_size = user_size;
+  hdr->integrity = header_tag(hdr->size_class, hdr->user_size,
+                              payload_off - sizeof(BlockHeader));
   dev_.mark_dirty(hdr, sizeof(*hdr));
   const std::size_t stride =
       cls < kNumClasses ? kStrides[cls] : user_size + sizeof(BlockHeader);
@@ -195,6 +197,73 @@ void PAllocator::free(void* payload) {
   }
 }
 
+bool PAllocator::validate_header(const BlockHeader* hdr) const {
+  const auto block_off = static_cast<std::uint64_t>(
+      reinterpret_cast<const std::byte*>(hdr) - dev_.base());
+  const std::uint64_t sb_index =
+      (block_off - kHeaderReserve) / kSuperblockSize;
+  const auto* sb = reinterpret_cast<const SuperblockHeader*>(
+      dev_.base() + sb_offset(sb_index));
+  // The scan only reaches blocks through a validated superblock header,
+  // but re-derive the bound so validate_header is safe standalone.
+  if (sb->magic != kSbMagic || superblock_span(sb, sb_index) == 0) {
+    return false;
+  }
+  if (hdr->size_class != sb->size_class) return false;
+  if (hdr->status >
+      static_cast<std::uint32_t>(BlockStatus::kQuarantined)) {
+    return false;
+  }
+  const std::uint64_t payload_cap =
+      sb->size_class < kNumClasses
+          ? kStrides[sb->size_class] - sizeof(BlockHeader)
+          : sb->span * kSuperblockSize - kCacheLineSize - sizeof(BlockHeader);
+  if (hdr->user_size > payload_cap) return false;
+  return hdr->integrity ==
+         header_tag(hdr->size_class, hdr->user_size, block_off);
+}
+
+void PAllocator::quarantine_block(BlockHeader* hdr) {
+  const auto block_off = static_cast<std::uint64_t>(
+      reinterpret_cast<std::byte*>(hdr) - dev_.base());
+  const std::uint64_t sb_index =
+      (block_off - kHeaderReserve) / kSuperblockSize;
+  const auto* sb = reinterpret_cast<const SuperblockHeader*>(
+      dev_.base() + sb_offset(sb_index));
+  // Geometry comes from the superblock header, which carve time persisted
+  // and the scan validated — the block header itself is untrustworthy.
+  hdr->size_class = static_cast<std::uint32_t>(sb->size_class);
+  hdr->user_size = sb->size_class < kNumClasses
+                       ? kStrides[sb->size_class] - sizeof(BlockHeader)
+                       : sb->user_size;
+  hdr->status = static_cast<std::uint32_t>(BlockStatus::kQuarantined);
+  hdr->create_epoch = kInvalidEpoch;
+  hdr->delete_epoch = kInvalidEpoch;
+  hdr->integrity = header_tag(hdr->size_class, hdr->user_size, block_off);
+  dev_.mark_dirty(hdr, sizeof(*hdr));
+}
+
+std::uint64_t PAllocator::corrupt_superblock_count() const {
+  std::uint64_t corrupt = 0;
+  const std::size_t sb_count = superblock_watermark();
+  for (std::size_t i = 0; i < sb_count;) {
+    const auto* sb = reinterpret_cast<const SuperblockHeader*>(
+        dev_.base() + sb_offset(i));
+    if (sb->magic != kSbMagic) {
+      ++i;
+      continue;
+    }
+    const std::size_t span = superblock_span(sb, i);
+    if (span == 0) {
+      ++corrupt;
+      ++i;
+      continue;
+    }
+    i += span;
+  }
+  return corrupt;
+}
+
 void PAllocator::rebuild_free_lists() {
   for (auto& cs : classes_) {
     std::scoped_lock lk(cs.mu);
@@ -215,6 +284,12 @@ void PAllocator::rebuild_free_lists() {
   for (std::size_t i = 0; i < sb_count;) {
     auto* sb = reinterpret_cast<SuperblockHeader*>(at(sb_offset(i)));
     if (sb->magic != kSbMagic) {
+      ++i;
+      continue;
+    }
+    if (superblock_span(sb, i) == 0) {
+      // Corrupt superblock header: its blocks are unreachable and its
+      // space stays out of circulation (see corrupt_superblock_count).
       ++i;
       continue;
     }

@@ -2,9 +2,9 @@
 //
 // Segregated size classes carved from 256 KiB superblocks inside an
 // nvm::Device, with per-thread block caches so the pNew() fast path is
-// lock-free. Every block carries a self-describing 32-byte header
-// (status, create/delete epoch, user size) — the metadata the epoch
-// system's §5.2 recovery scan classifies blocks by.
+// lock-free. Every block carries a self-describing 40-byte header
+// (status, create/delete epoch, user size, integrity tag) — the metadata
+// the epoch system's §5.2 recovery scan classifies blocks by.
 //
 // Crash-consistency contract (shared with EpochSys):
 //   * Superblock headers are persisted synchronously at carve time, so a
@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/defs.hpp"
+#include "common/rng.hpp"
 #include "common/threading.hpp"
 #include "nvm/device.hpp"
 
@@ -34,20 +35,37 @@ enum class BlockStatus : std::uint32_t {
   kFree = 0,       // never used, or reclaimed (matches zero pages)
   kAllocated = 1,  // live (create_epoch may still be kInvalidEpoch)
   kDeleted = 2,    // retired; delete_epoch says when
+  kQuarantined = 3,  // header failed a recovery integrity check: the
+                     // block is leaked (never free-listed, never handed
+                     // to a structure) so corrupt metadata degrades to
+                     // bounded data loss instead of a wild pointer
 };
 
 /// Self-describing per-block metadata, stored immediately before the
-/// payload. 32 bytes; all fields are read by the recovery scan.
+/// payload. 48 bytes (padded so payloads keep 16-byte alignment inside
+/// the 64 B-aligned strides); all fields are read by the recovery scan.
+///
+/// `integrity` tags the fields that are constant from init to free
+/// (size_class, user_size, and the block's device offset). Status and the
+/// two epochs are deliberately NOT covered: they mutate in place — the
+/// create epoch inside hardware transactions, where recomputing a tag is
+/// impossible — so recovery validates them by range instead (status must
+/// be a known enumerator, epochs must be kInvalidEpoch or below the
+/// persisted horizon).
 struct BlockHeader {
   std::uint32_t status;      // BlockStatus
   std::uint32_t size_class;  // index into the class table
   std::uint64_t create_epoch;
   std::uint64_t delete_epoch;
   std::uint64_t user_size;
+  std::uint64_t integrity;
+  std::uint64_t reserved_;  // alignment pad (keeps payloads 16-aligned)
 
   BlockStatus st() const { return static_cast<BlockStatus>(status); }
 };
-static_assert(sizeof(BlockHeader) == 32);
+static_assert(sizeof(BlockHeader) == 48);
+static_assert(kCacheLineSize % alignof(std::max_align_t) == 0 &&
+              sizeof(BlockHeader) % alignof(std::max_align_t) == 0);
 
 class PAllocator {
  public:
@@ -92,8 +110,44 @@ class PAllocator {
   }
 
   /// Rebuild all transient free lists from header states. Part of
-  /// recovery, after the epoch system has classified blocks.
+  /// recovery, after the epoch system has classified blocks. Blocks in
+  /// any non-free state (including kQuarantined) are counted as in-use
+  /// and never handed out.
   void rebuild_free_lists();
+
+  // ---- Recovery-scan integrity checks ----
+
+  /// Tag over a block's init-time-constant identity. Content-free on
+  /// purpose: it detects a header that was torn, dropped, or bit-flipped
+  /// on the media, not payload corruption.
+  static std::uint64_t header_tag(std::uint32_t size_class,
+                                  std::uint64_t user_size,
+                                  std::uint64_t block_off) {
+    constexpr std::uint64_t kTagSalt = 0x8d1f5a2bd47c90e3ULL;
+    return splitmix64(block_off ^ (user_size << 8) ^
+                      (std::uint64_t{size_class} << 52) ^ kTagSalt);
+  }
+
+  /// Full check for a non-free header met during the recovery scan:
+  /// size_class matches the containing superblock, status is a known
+  /// enumerator, user_size fits the stride, and the integrity tag
+  /// verifies. Epoch fields are NOT covered (see BlockHeader) — the
+  /// epoch system bounds-checks them separately.
+  bool validate_header(const BlockHeader* hdr) const;
+
+  /// Neutralize a block whose header failed validation: geometry fields
+  /// are restored from the (validated) superblock header, status becomes
+  /// kQuarantined, epochs become kInvalidEpoch, and a fresh tag is
+  /// computed. The block is leaked permanently. Caller persists the
+  /// rewritten header (clwb + eventual drain).
+  void quarantine_block(BlockHeader* hdr);
+
+  /// Superblocks below the watermark whose header is formatted (magic
+  /// matches) but whose geometry fields are insane. Their blocks are
+  /// unreachable — the whole superblock is effectively quarantined — and
+  /// every scan skips them, so a garbage `span` can never wedge the
+  /// recovery walk.
+  std::uint64_t corrupt_superblock_count() const;
 
   /// Payload bytes of live (kAllocated or kDeleted-pending) blocks.
   std::uint64_t bytes_in_use() const {
@@ -130,6 +184,19 @@ class PAllocator {
   std::size_t superblock_watermark() const {
     return next_superblock_.load(std::memory_order_acquire);
   }
+  /// Validated span of a formatted superblock: how many superblocks its
+  /// header claims to cover, or 0 when the claim is insane (unknown size
+  /// class, zero/overflowing span) and the superblock must be skipped as
+  /// an opaque unit.
+  std::size_t superblock_span(const SuperblockHeader* sb,
+                              std::size_t index) const {
+    if (sb->size_class > kNumClasses) return 0;
+    const auto span = static_cast<std::size_t>(sb->span);
+    if (sb->size_class == kNumClasses) {
+      return (span == 0 || index + span > superblock_watermark()) ? 0 : span;
+    }
+    return span == 1 ? 1 : 0;
+  }
   template <typename Fn>
   std::size_t visit_superblock(std::size_t index, Fn&& fn);
   std::uint64_t carve_superblocks(std::size_t count);  // returns sb index
@@ -157,6 +224,9 @@ template <typename Fn>
 std::size_t PAllocator::visit_superblock(std::size_t index, Fn&& fn) {
   auto* sb = reinterpret_cast<SuperblockHeader*>(at(sb_offset(index)));
   if (sb->magic != kSbMagic) return 1;  // header never persisted: skip
+  if (superblock_span(sb, index) == 0) return 1;  // corrupt header: the
+  // superblock is opaque — walking garbage geometry would misread (or,
+  // for span == 0, never terminate), so its blocks stay unreachable.
   if (sb->size_class >= kNumClasses) {
     // Large span: single block right after the superblock header.
     auto* hdr = reinterpret_cast<BlockHeader*>(

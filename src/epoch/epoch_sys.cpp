@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <stdexcept>
 
 #include "common/spin.hpp"
 
@@ -37,9 +38,28 @@ EpochSys::EpochSys(alloc::PAllocator& pa, const Config& cfg)
     flushers_ = std::make_unique<FlusherPool>(flusher_threads_ - 1);
   }
 
+  // The persisted-epoch counter line is the device's fault-watch range:
+  // kCounterWrite fault plans trigger on its media writes, and random
+  // corruption injection spares it by default.
+  pa_.device().set_fault_watch(root(), sizeof(PersistentRoot));
+
   if (cfg.attach) {
-    assert(root()->magic == kRootMagic &&
-           "attach requested but the heap has no persistent root");
+    if (root()->magic == 0 && root()->persisted_epoch == 0 &&
+        root()->integrity == 0) {
+      // All-zero root: the crash hit before the root's first persist ever
+      // reached the media. Nothing was durable — recover to an empty,
+      // freshly formatted heap (distinct from a *garbage* root below).
+      root()->magic = kRootMagic;
+      root()->persisted_epoch = kFirstEpoch;
+      persist_root();
+    } else if (root()->magic != kRootMagic ||
+               root()->integrity != root_tag(root()->persisted_epoch)) {
+      // A corrupt root means the recovery frontier is unknowable;
+      // refusing the heap beats trusting a garbage counter and
+      // resurrecting junk.
+      throw std::runtime_error(
+          "bdhtm: persistent root failed validation; heap unrecoverable");
+    }
     // global_epoch_ is set by recover(); park it at the persisted value
     // so current_epoch() is sane in the interim.
     global_epoch_.store(root()->persisted_epoch, std::memory_order_release);
@@ -48,6 +68,11 @@ EpochSys::EpochSys(alloc::PAllocator& pa, const Config& cfg)
     root()->persisted_epoch = kFirstEpoch;
     persist_root();
   }
+
+  watchdog_timeout_us_ = cfg.watchdog_timeout_us;
+  watchdog_enabled_ =
+      cfg.start_advancer && cfg.watchdog_timeout_us != kWatchdogDisabled;
+  last_transition_ns_.store(now_ns(), std::memory_order_relaxed);
 
   if (cfg.start_advancer) {
     advancer_ = std::jthread([this](std::stop_token st) {
@@ -63,6 +88,10 @@ EpochSys::EpochSys(alloc::PAllocator& pa, const Config& cfg)
         cv.wait_for(lk, st, std::chrono::microseconds(us),
                     [] { return false; });
         if (st.stop_requested()) break;
+        // Parked by stall_advancer_for_testing: keep sleeping (and keep
+        // honouring stop requests) without advancing, exactly like a
+        // descheduled or dead advancer as far as workers can tell.
+        if (advancer_stalled_.load(std::memory_order_acquire)) continue;
         advance(st);
       }
     });
@@ -84,6 +113,7 @@ const EpochSys::PersistentRoot* EpochSys::root() const {
 }
 
 void EpochSys::persist_root() {
+  root()->integrity = root_tag(root()->persisted_epoch);
   pa_.device().mark_dirty(root(), sizeof(PersistentRoot));
   pa_.device().persist_nontxn(root(), sizeof(PersistentRoot));
 }
@@ -95,6 +125,10 @@ std::uint64_t EpochSys::persisted_epoch() const {
 std::uint64_t EpochSys::beginOp() {
   ThreadState& ts = tstate();
   assert(ts.op_epoch == kInvalidEpoch && "beginOp without matching endOp");
+  // Watchdog: every 32nd op (before announcing, so an inline rescue
+  // never waits on this thread's own announcement) check whether the
+  // background advancer has missed its deadline.
+  if (watchdog_enabled_ && (++ts.wd_ops & 0x1F) == 0) watchdog_check(ts);
   auto& slot = announce_[thread_id()].value;
   std::uint64_t e;
   for (;;) {
@@ -179,10 +213,52 @@ void EpochSys::pTrack(void* payload) {
 void EpochSys::advance() { advance(std::stop_token{}); }
 
 void EpochSys::advance(const std::stop_token& st) {
-  const std::uint64_t t_begin = now_ns();
   // Transitions are serialized: the background advancer and explicit
   // advance()/persist_all() callers may overlap.
   std::scoped_lock lk(advance_mu_);
+  advance_locked(st);
+}
+
+std::uint64_t EpochSys::watchdog_deadline_ns() const {
+  if (watchdog_timeout_us_ != 0) return watchdog_timeout_us_ * 1000;
+  // Auto: generous multiple of the *current* epoch length (it is runtime
+  // tunable — fig7's sweeps stretch it to seconds), floored so very
+  // short test epochs don't make scheduling jitter look like a stall.
+  const std::uint64_t auto_us = epoch_length_us() * 8;
+  return std::max<std::uint64_t>(auto_us, 10'000) * 1000;
+}
+
+void EpochSys::watchdog_check(ThreadState& ts) {
+  const std::uint64_t deadline = watchdog_deadline_ns();
+  std::uint64_t now = now_ns();
+  if (now - last_transition_ns_.load(std::memory_order_relaxed) < deadline) {
+    ts.wd_backoff_ns = 0;  // healthy again: reset the rescue backoff
+    return;
+  }
+  // Per-thread bounded exponential backoff between rescue attempts so a
+  // fleet of workers doesn't convoy on the transition mutex.
+  if (now < ts.wd_next_attempt_ns) return;
+  stats_.watchdog_trips.fetch_add(1, std::memory_order_relaxed);
+  if (advance_mu_.try_lock()) {
+    std::lock_guard lk(advance_mu_, std::adopt_lock);
+    // Re-check under the lock: another worker may have just rescued.
+    now = now_ns();
+    if (now - last_transition_ns_.load(std::memory_order_relaxed) >=
+        deadline) {
+      advance_locked(std::stop_token{});
+      stats_.inline_advances.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // try_lock failure means a transition (or another rescuer) is already
+  // running; either way, back off before this thread looks again.
+  ts.wd_backoff_ns = ts.wd_backoff_ns == 0
+                         ? deadline / 8 + 1
+                         : std::min(ts.wd_backoff_ns * 2, deadline);
+  ts.wd_next_attempt_ns = now_ns() + ts.wd_backoff_ns;
+}
+
+void EpochSys::advance_locked(const std::stop_token& st) {
+  const std::uint64_t t_begin = now_ns();
   const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
 
   // (1) Wait for in-flight operations of epoch e-1 to complete. New
@@ -231,6 +307,7 @@ void EpochSys::advance(const std::stop_token& st) {
   if (do_flush) {
     persist_root();
   } else {
+    root()->integrity = root_tag(e + 1);
     dev.mark_dirty(root(), sizeof(PersistentRoot));
   }
   global_epoch_.store(e + 1, std::memory_order_seq_cst);
@@ -262,6 +339,10 @@ void EpochSys::advance(const std::stop_token& st) {
   while (dur > mx && !stats_.advance_ns_max.compare_exchange_weak(
                          mx, dur, std::memory_order_relaxed)) {
   }
+  // Feed the watchdog only on *completed* transitions (the early return
+  // above skips this, so an advancer wedged in step 1 still counts as
+  // stalled).
+  last_transition_ns_.store(now_ns(), std::memory_order_relaxed);
 }
 
 void EpochSys::flush_stolen_buffers(int nthreads) {

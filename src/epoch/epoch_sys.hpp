@@ -90,6 +90,14 @@ struct EpochStats {
   std::atomic<std::uint64_t> advance_ns_max{0};
   std::atomic<std::uint64_t> blocks_retired{0};
   std::atomic<std::uint64_t> blocks_reclaimed{0};
+  /// Watchdog detections: a worker observed that no epoch transition
+  /// completed within the watchdog deadline while the background
+  /// advancer was supposed to be running (stalled, descheduled, dead).
+  std::atomic<std::uint64_t> watchdog_trips{0};
+  /// Transitions driven inline by a worker after a watchdog trip — the
+  /// degraded mode in which durability keeps progressing without the
+  /// advancer.
+  std::atomic<std::uint64_t> inline_advances{0};
 
   /// Redundancy eliminated: raw buffered lines / lines actually flushed.
   double dedup_factor() const {
@@ -99,6 +107,21 @@ struct EpochStats {
         static_cast<double>(lines_deduped.load(std::memory_order_relaxed));
     return flushed > 0 ? (flushed + deduped) / flushed : 1.0;
   }
+};
+
+/// Outcome of a §5.2 recovery scan (returned by EpochSys::recover()).
+/// The quarantine counters implement graceful degradation under media
+/// corruption: a block whose metadata fails validation is leaked — its
+/// pair is lost — instead of being dereferenced or free-listed.
+struct RecoveryReport {
+  std::uint64_t blocks_scanned = 0;
+  std::uint64_t blocks_live = 0;         // handed to the live callback
+  std::uint64_t blocks_resurrected = 0;  // deleted past the frontier: undone
+  std::uint64_t blocks_discarded = 0;    // dead or uncommitted: freed
+  std::uint64_t blocks_quarantined = 0;  // failed integrity checks: leaked
+  std::uint64_t superblocks_quarantined = 0;  // insane superblock headers
+  std::uint64_t checksum_failures = 0;  // header tag/geometry mismatches
+  std::uint64_t epoch_violations = 0;   // epoch stamps outside sane bounds
 };
 
 class EpochSys {
@@ -121,7 +144,17 @@ class EpochSys {
     /// adjacent lines merge into bulk line runs. Off reproduces the
     /// naive one-flush-per-tracked-range behaviour.
     bool coalesce_flushes = true;
+    /// Advancer watchdog deadline. If no transition completes within
+    /// this many microseconds, workers record a trip in EpochStats and
+    /// degrade to inline (worker-driven) advancement, with per-thread
+    /// bounded exponential backoff between rescue attempts. 0 = auto:
+    /// 8x the current epoch length with a 10 ms floor (so long-epoch
+    /// sweeps do not trip it). kWatchdogDisabled turns detection off.
+    /// Only armed when start_advancer is true — tests that drive
+    /// advance() manually are not "stalled".
+    std::uint64_t watchdog_timeout_us = 0;
   };
+  static constexpr std::uint64_t kWatchdogDisabled = ~std::uint64_t{0};
 
   /// Fresh heap: formats the persistent root. Pass Config{.attach=true}
   /// (with a kAttach-mode allocator) after a crash, then call recover().
@@ -228,10 +261,25 @@ class EpochSys {
     return epoch_length_us_.load(std::memory_order_relaxed);
   }
 
+  /// First epoch operations can ever run in (epoch 0 and 1 are reserved
+  /// so the frontier arithmetic below has room). Exposed for tests.
+  static constexpr std::uint64_t kFirstEpoch = 2;
+
   /// Epoch recovered to after the given crash-time persisted epoch; the
-  /// "e-2" of the BDL guarantee. Exposed for tests.
+  /// "e-2" of the BDL guarantee. Saturates below kFirstEpoch instead of
+  /// wrapping: a crash before the second transition ever completed
+  /// (persisted == kFirstEpoch or kFirstEpoch + 1) recovers to "nothing
+  /// is durable yet", not to a frontier of ~2^64 that would resurrect
+  /// every uncommitted block. Exposed for tests.
   static std::uint64_t recovery_frontier(std::uint64_t persisted) {
-    return persisted - 2;
+    return persisted >= kFirstEpoch + 2 ? persisted - 2 : kFirstEpoch - 1;
+  }
+
+  /// Test hook: park the background advancer (it stays stop-token
+  /// responsive, so shutdown is unaffected) to model a dead or
+  /// descheduled advancer thread for watchdog tests.
+  void stall_advancer_for_testing(bool stalled) {
+    advancer_stalled_.store(stalled, std::memory_order_release);
   }
 
   // ---- Recovery (§5.2) ----
@@ -241,12 +289,55 @@ class EpochSys {
   /// hand each live payload to `live_fn(void* payload, std::uint64_t
   /// create_epoch)`. The caller (a data structure) rebuilds its DRAM
   /// index from these callbacks.
+  ///
+  /// The scan is defensive against media corruption: every header must
+  /// pass the allocator's integrity check (tag over the init-constant
+  /// fields) and carry epoch stamps inside the sanity horizon before it
+  /// is classified; anything else is quarantined — leaked, never handed
+  /// to live_fn or a free list — and counted in the returned
+  /// RecoveryReport. A header whose status bytes were zeroed reads as
+  /// kFree and is silently skipped, which is the same bounded data loss
+  /// (the block was durable, its pair is gone) without the count.
   template <typename Fn>
-  void recover(Fn&& live_fn) {
+  RecoveryReport recover(Fn&& live_fn) {
+    RecoveryReport rep{};
     const std::uint64_t p = persisted_epoch();
     const std::uint64_t frontier = recovery_frontier(p);
     nvm::Device& dev = pa_.device();
+    // An epoch stamp far above the persisted counter cannot have been
+    // issued by this heap's clock (post-crash stamps above `p` exist only
+    // in the narrow window a fault plan freezes the media, and advance at
+    // epoch-length cadence keeps them within thousands of p). The wide
+    // slack keeps legitimate stamps clear of the bound by orders of
+    // magnitude while still catching high-bit corruption.
+    constexpr std::uint64_t kEpochSanitySlack = std::uint64_t{1} << 32;
+    const std::uint64_t horizon =
+        p > kInvalidEpoch - kEpochSanitySlack ? kInvalidEpoch - 1
+                                              : p + kEpochSanitySlack;
+    auto epoch_sane = [&](std::uint64_t e) {
+      return e == kInvalidEpoch || (e >= kFirstEpoch && e <= horizon);
+    };
     pa_.for_each_block([&](alloc::BlockHeader* hdr, void* payload) {
+      ++rep.blocks_scanned;
+      if (!pa_.validate_header(hdr)) {
+        ++rep.checksum_failures;
+        ++rep.blocks_quarantined;
+        pa_.quarantine_block(hdr);
+        dev.clwb_nontxn(hdr);
+        return;
+      }
+      if (hdr->st() == alloc::BlockStatus::kQuarantined) {
+        // Leaked by an earlier recovery; stays out of circulation.
+        ++rep.blocks_quarantined;
+        return;
+      }
+      if (!epoch_sane(hdr->create_epoch) || !epoch_sane(hdr->delete_epoch)) {
+        ++rep.epoch_violations;
+        ++rep.blocks_quarantined;
+        pa_.quarantine_block(hdr);
+        dev.clwb_nontxn(hdr);
+        return;
+      }
       const bool created_valid =
           hdr->create_epoch != kInvalidEpoch && hdr->create_epoch <= frontier;
       const bool alive =
@@ -257,6 +348,10 @@ class EpochSys {
                : hdr->st() == alloc::BlockStatus::kDeleted &&
                      hdr->delete_epoch > frontier);
       if (alive) {
+        if (hdr->st() == alloc::BlockStatus::kDeleted) {
+          ++rep.blocks_resurrected;
+        }
+        ++rep.blocks_live;
         // Normalize: the resurrected/live state must itself be durable,
         // or a later crash could re-kill a block we handed back.
         hdr->status = static_cast<std::uint32_t>(alloc::BlockStatus::kAllocated);
@@ -265,17 +360,24 @@ class EpochSys {
         dev.clwb_nontxn(hdr);
         live_fn(payload, hdr->create_epoch);
       } else {
+        ++rep.blocks_discarded;
         hdr->status = static_cast<std::uint32_t>(alloc::BlockStatus::kFree);
         dev.mark_dirty(hdr, sizeof(*hdr));
         dev.clwb_nontxn(hdr);
       }
     });
+    rep.superblocks_quarantined = pa_.corrupt_superblock_count();
     dev.drain();
     pa_.rebuild_free_lists();
     // Resume strictly after every epoch that may appear on a live block.
     global_epoch_.store(p + 2, std::memory_order_release);
     persist_root();
+    last_recovery_ = rep;
+    return rep;
   }
+
+  /// Report of the most recent recover() on this instance.
+  const RecoveryReport& last_recovery() const { return last_recovery_; }
 
   std::uint64_t persisted_epoch() const;
 
@@ -299,15 +401,25 @@ class EpochSys {
     // being-flushed, and one safety slot (see advance()).
     std::vector<TrackedRange> epoch_tracked[4];
     std::vector<void*> epoch_retired[4];
+    // Watchdog bookkeeping: ops since the last deadline check, and the
+    // per-thread exponential-backoff gate between inline rescue attempts.
+    std::uint32_t wd_ops = 0;
+    std::uint64_t wd_next_attempt_ns = 0;
+    std::uint64_t wd_backoff_ns = 0;
   };
 
   struct PersistentRoot {
     std::uint64_t magic;
     std::uint64_t persisted_epoch;
+    std::uint64_t integrity;  // tag over persisted_epoch; a corrupt root
+                              // means the recovery frontier is unknowable,
+                              // so attach refuses the heap instead of
+                              // trusting a garbage counter
   };
   static constexpr std::uint64_t kRootMagic = 0xbd47a6e0ULL;
-  // First usable epoch: recovery_frontier(kFirstEpoch) must not underflow.
-  static constexpr std::uint64_t kFirstEpoch = 2;
+  static std::uint64_t root_tag(std::uint64_t persisted) {
+    return splitmix64(persisted ^ (kRootMagic << 16) ^ 0x5eedf00dULL);
+  }
 
   /// A maximal run of cache lines to write back (the unit of work the
   /// flusher pool distributes).
@@ -321,6 +433,10 @@ class EpochSys {
   void persist_root();
   ThreadState& tstate() { return tstate_[thread_id()].value; }
   void flush_stolen_buffers(int nthreads);
+  /// Transition body; caller holds advance_mu_.
+  void advance_locked(const std::stop_token& st);
+  std::uint64_t watchdog_deadline_ns() const;
+  void watchdog_check(ThreadState& ts);
 
   alloc::PAllocator& pa_;
   std::mutex advance_mu_;
@@ -345,6 +461,14 @@ class EpochSys {
   std::unique_ptr<FlusherPool> flushers_;  // only when flusher_threads_ > 1
 
   EpochStats stats_;
+  RecoveryReport last_recovery_{};
+
+  // ---- Advancer watchdog ----
+  bool watchdog_enabled_ = false;
+  std::uint64_t watchdog_timeout_us_ = 0;  // 0 = auto-scale with epoch length
+  std::atomic<std::uint64_t> last_transition_ns_{0};
+  std::atomic<bool> advancer_stalled_{false};  // test hook
+
   std::jthread advancer_;  // last member: joins before the rest dies
 };
 

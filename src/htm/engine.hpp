@@ -38,6 +38,8 @@
 #include <cstring>
 #include <type_traits>
 
+#include "common/spin.hpp"
+
 namespace bdhtm::nvm {
 class Device;
 }
@@ -271,8 +273,13 @@ class ElidedLock {
   bool locked() const { return nontx_load(&word_) != 0; }
 
   /// Spin until the lock is free (paper Listing 1 line 43).
+  /// Spin until the fallback holder releases, with bounded exponential
+  /// backoff: a convoy of waiters hammering the lock word only delays
+  /// the holder (whose stores contend the same line).
   void wait_until_free() const {
+    Backoff backoff;
     while (locked()) {
+      backoff.pause();
     }
   }
 

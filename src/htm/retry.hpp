@@ -5,9 +5,13 @@
 // (htm/access.hpp).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 
+#include "common/rng.hpp"
+#include "common/spin.hpp"
+#include "common/threading.hpp"
 #include "htm/access.hpp"
 #include "htm/engine.hpp"
 
@@ -17,11 +21,29 @@ inline constexpr std::uint8_t kLockedCode = 0x52;
 
 struct ElideOptions {
   int max_retries = 16;
+  /// Bounded exponential backoff between attempts after a conflict,
+  /// capacity, or spurious abort: the delay doubles from min to max.
+  /// Symmetric aborters re-colliding in lockstep is what turns transient
+  /// conflicts into fallback-lock serialization.
+  std::uint32_t backoff_min_ns = 64;
+  std::uint32_t backoff_max_ns = 8192;
   /// Invoked after a simulated MEMTYPE abort, before the retry — the
   /// paper's mitigation performs a non-transactional pre-walk here.
   void (*prewalk)(void*) = nullptr;
   void* prewalk_ctx = nullptr;
 };
+
+namespace detail {
+/// Per-thread jitter stream for retry backoff (de-synchronizes threads
+/// whose transactions keep aborting each other).
+inline std::uint32_t retry_jitter(std::uint32_t bound) {
+  static thread_local std::uint64_t s =
+      splitmix64(0x9e3779b97f4a7c15ULL ^
+                 static_cast<std::uint64_t>(thread_id() + 1));
+  s = splitmix64(s);
+  return static_cast<std::uint32_t>(s % bound);
+}
+}  // namespace detail
 
 /// Run `body(acc) -> R` atomically. The body may be re-executed; all its
 /// side effects must go through the accessor (rolled back on abort) or be
@@ -30,7 +52,8 @@ struct ElideOptions {
 /// caller, who owns algorithmic restarts).
 template <typename R, typename Body>
 R elide(ElidedLock& lock, Body&& body, const ElideOptions& opts = {}) {
-  for (int attempt = 0; attempt < opts.max_retries; ++attempt) {
+  std::uint32_t delay_ns = opts.backoff_min_ns;
+  for (int attempt = 0; attempt < opts.max_retries;) {
     R result{};
     const unsigned st = run([&](Txn& tx) {
       lock.subscribe(tx, kLockedCode);
@@ -39,6 +62,10 @@ R elide(ElidedLock& lock, Body&& body, const ElideOptions& opts = {}) {
     });
     if (st == kCommitted) return result;
     if ((st & kAbortExplicit) && explicit_code(st) == kLockedCode) {
+      // Lock-wait, not a failed attempt: no progress was possible while
+      // a fallback held the lock, so charging these against max_retries
+      // livelocks straight into the very serialization elision exists to
+      // avoid — a convoy of waiters all exhausting their budgets at once.
       lock.wait_until_free();
       continue;
     }
@@ -47,12 +74,19 @@ R elide(ElidedLock& lock, Body&& body, const ElideOptions& opts = {}) {
       // fallback path would, so callers handle one restart mechanism.
       throw FallbackRestart{explicit_code(st)};
     }
+    ++attempt;
     if (st & kAbortMemtype) {
+      // The pre-walk already spent the mitigation time; retry at once.
       if (opts.prewalk != nullptr) opts.prewalk(opts.prewalk_ctx);
       prewalk_hint();
       continue;
     }
-    // conflict / capacity / spurious: plain retry
+    // Conflict / capacity / spurious: bounded exponential backoff with
+    // jitter before retrying.
+    if (delay_ns > 0) {
+      spin_for_ns(delay_ns / 2 + detail::retry_jitter(delay_ns));
+      delay_ns = std::min(delay_ns * 2, opts.backoff_max_ns);
+    }
   }
   FallbackGuard guard(lock);
   NontxAccess acc;

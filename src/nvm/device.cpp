@@ -33,6 +33,7 @@ Device::Device(const DeviceConfig& cfg) : cfg_(cfg) {
   n_lines_ = cfg_.capacity / kCacheLineSize;
   line_state_ = std::make_unique<std::atomic<std::uint8_t>[]>(n_lines_);
   pending_ = std::make_unique<Padded<PendingSlot>[]>(kMaxThreads);
+  media_written_ = std::make_unique<std::atomic<std::uint8_t>[]>(n_lines_);
 }
 
 Device::~Device() {
@@ -76,6 +77,7 @@ void Device::clwb(const void* addr) {
 
 void Device::clwb_nontxn(const void* addr) {
   stats_.clwbs.fetch_add(1, std::memory_order_relaxed);
+  fault_note(FaultEvent::kClwb);
   if (cfg_.eadr) return;  // persistent cache: already durable
   if (cfg_.flush_ns != 0) spin_for_ns(cfg_.flush_ns);
   const std::size_t line = line_of(offset_of(addr));
@@ -87,13 +89,24 @@ void Device::clwb_nontxn(const void* addr) {
 
 BDHTM_NO_SANITIZE_THREAD
 void Device::flush_line_to_media(std::size_t line) {
+  // Every path by which a line reaches the media funnels through here, so
+  // this is the single point where a tripped fault plan freezes the media
+  // (power is out: nothing written after the trigger instant lands) and
+  // where the trigger event itself is detected — the write that trips the
+  // plan is the first one that does NOT complete.
+  if (fault_tripped_.load(std::memory_order_acquire)) return;
+  fault_note(line_in_watch(line) ? FaultEvent::kCounterWrite
+                                 : FaultEvent::kEviction);
+  if (fault_tripped_.load(std::memory_order_acquire)) return;
   std::memcpy(media_ + line * kCacheLineSize,
               working_ + line * kCacheLineSize, kCacheLineSize);
+  media_written_[line].store(1, std::memory_order_relaxed);
   stats_.media_line_writes.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Device::drain() {
   stats_.fences.fetch_add(1, std::memory_order_relaxed);
+  fault_note(FaultEvent::kFence);
   if (cfg_.eadr) return;
   if (cfg_.fence_ns != 0) spin_for_ns(cfg_.fence_ns);
   auto& mine = pending_[thread_id()].value.lines;
@@ -154,6 +167,7 @@ void Device::flush_range_to_media(const void* addr, std::size_t len) {
   for (std::size_t l = first; l <= last; ++l) {
     if (cfg_.flush_ns != 0) spin_for_ns(cfg_.flush_ns);
     stats_.clwbs.fetch_add(1, std::memory_order_relaxed);
+    fault_note(FaultEvent::kClwb);
     flush_line_to_media(l);
     const std::size_t xp = l / kLinesPerXP;
     if (xp != last_xp) {
@@ -165,6 +179,7 @@ void Device::flush_range_to_media(const void* addr, std::size_t len) {
     line_state_[l].store(kClean, std::memory_order_release);
   }
   stats_.fences.fetch_add(1, std::memory_order_relaxed);
+  fault_note(FaultEvent::kFence);
   if (cfg_.fence_ns != 0) spin_for_ns(cfg_.fence_ns);
 }
 
@@ -176,6 +191,7 @@ void Device::flush_line_run_to_media(std::size_t first_line, std::size_t n) {
   for (std::size_t l = first_line; l < first_line + n; ++l) {
     if (cfg_.flush_ns != 0) spin_for_ns(cfg_.flush_ns);
     stats_.clwbs.fetch_add(1, std::memory_order_relaxed);
+    fault_note(FaultEvent::kClwb);
     flush_line_to_media(l);
     const std::size_t xp = l / kLinesPerXP;
     if (xp != last_xp) {
@@ -187,6 +203,7 @@ void Device::flush_line_run_to_media(std::size_t first_line, std::size_t n) {
     line_state_[l].store(kClean, std::memory_order_release);
   }
   stats_.fences.fetch_add(1, std::memory_order_relaxed);
+  fault_note(FaultEvent::kFence);
   if (cfg_.fence_ns != 0) spin_for_ns(cfg_.fence_ns);
 }
 
@@ -201,30 +218,149 @@ bool Device::line_is_durable(const void* addr) const {
 
 void Device::simulate_crash() {
   // Caller has quiesced workers: no concurrent access below.
-  Rng rng(cfg_.crash_seed);
-  cfg_.crash_seed = splitmix64(cfg_.crash_seed + 1);  // vary across crashes
-  for (std::size_t l = 0; l < n_lines_; ++l) {
-    const std::uint8_t st =
-        line_state_[l].load(std::memory_order_relaxed);
-    if (st == kClean) continue;
-    double survive_p = 0.0;
-    if (cfg_.eadr) {
-      survive_p = 1.0;  // persistent cache: everything written survives
-    } else if (st == kPending) {
-      survive_p = cfg_.pending_survival;
-    } else {
-      survive_p = cfg_.dirty_survival;
+  if (fault_tripped_.load(std::memory_order_acquire)) {
+    // Power died at the plan's trigger instant and the media has been
+    // frozen since. No eviction lottery: an armed plan is a fully
+    // deterministic crash (same plan + same op sequence = bit-identical
+    // media image). Apply the plan's corruption to the frozen image.
+    for (std::size_t l = 0; l < n_lines_; ++l) {
+      line_state_[l].store(kClean, std::memory_order_relaxed);
     }
-    if (rng.next_double() < survive_p) {
-      flush_line_to_media(l);  // the line happened to reach the media
+    const MediaCorruption corruption = fault_plan_.crash_corruption;
+    fault_armed_.store(false, std::memory_order_release);
+    fault_tripped_.store(false, std::memory_order_release);
+    if (corruption.any()) corrupt_media(corruption);
+  } else {
+    // A plan that never tripped (trigger beyond the run's event count) is
+    // still consumed here: plans are one-shot per crash, never carried
+    // into the post-reboot run.
+    fault_armed_.store(false, std::memory_order_release);
+    Rng rng(cfg_.crash_seed);
+    cfg_.crash_seed = splitmix64(cfg_.crash_seed + 1);  // vary across crashes
+    for (std::size_t l = 0; l < n_lines_; ++l) {
+      const std::uint8_t st =
+          line_state_[l].load(std::memory_order_relaxed);
+      if (st == kClean) continue;
+      double survive_p = 0.0;
+      if (cfg_.eadr) {
+        survive_p = 1.0;  // persistent cache: everything written survives
+      } else if (st == kPending) {
+        survive_p = cfg_.pending_survival;
+      } else {
+        survive_p = cfg_.dirty_survival;
+      }
+      if (rng.next_double() < survive_p) {
+        flush_line_to_media(l);  // the line happened to reach the media
+      }
+      line_state_[l].store(kClean, std::memory_order_relaxed);
     }
-    line_state_[l].store(kClean, std::memory_order_relaxed);
   }
   // After "reboot" the working image IS the media image — including any
   // lines that were modified without being reported dirty (a structure
   // that forgets mark_dirty loses those writes, as it should).
   std::memcpy(working_, media_, cfg_.capacity);
   for (int t = 0; t < kMaxThreads; ++t) pending_[t].value.lines.clear();
+}
+
+void Device::arm_fault_plan(const FaultPlan& plan) {
+  // trigger_at indexes the event counter since device construction: arm
+  // before running the workload (enumeration profiles a clean run first,
+  // then re-runs the identical sequence on a fresh device per trigger).
+  fault_plan_ = plan;
+  fault_tripped_.store(false, std::memory_order_release);
+  fault_armed_.store(true, std::memory_order_release);
+}
+
+void Device::disarm_fault_plan() {
+  fault_armed_.store(false, std::memory_order_release);
+  fault_tripped_.store(false, std::memory_order_release);
+}
+
+void Device::fault_note(FaultEvent e) {
+  const int idx = static_cast<int>(e);
+  const std::uint64_t n =
+      fault_counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  if (fault_armed_.load(std::memory_order_acquire) &&
+      !fault_tripped_.load(std::memory_order_relaxed) &&
+      fault_plan_.event == e && n == fault_plan_.trigger_at) {
+    fault_tripped_.store(true, std::memory_order_seq_cst);
+  }
+}
+
+void Device::set_fault_watch(const void* addr, std::size_t len) {
+  assert(contains(addr) && len > 0);
+  watch_first_line_ = line_of(offset_of(addr));
+  watch_last_line_ = line_of(offset_of(addr) + len - 1);
+}
+
+std::uint64_t Device::media_lines_written() const {
+  std::uint64_t n = 0;
+  for (std::size_t l = 0; l < n_lines_; ++l) {
+    if (media_written_[l].load(std::memory_order_relaxed) != 0) ++n;
+  }
+  return n;
+}
+
+std::uint64_t Device::corrupt_media(const MediaCorruption& c) {
+  if (!c.any()) return 0;
+  // Candidates: lines that ever reached the media. Blank pages cannot
+  // rot — real media failures hit cells that were written.
+  std::vector<std::size_t> cand;
+  for (std::size_t l = 0; l < n_lines_; ++l) {
+    if (media_written_[l].load(std::memory_order_relaxed) == 0) continue;
+    if (c.spare_watch_range && line_in_watch(l)) continue;
+    cand.push_back(l);
+  }
+  if (cand.empty()) return 0;
+  Rng rng(c.seed);
+  auto* bytes = reinterpret_cast<unsigned char*>(media_);
+  std::vector<std::size_t> hit;
+  constexpr std::size_t kLinesPerXP = kXPLineSize / kCacheLineSize;
+
+  for (std::uint32_t i = 0; i < c.torn_xplines; ++i) {
+    // Torn XPLine write: bytes past a random cut hold garbage, as if the
+    // 256 B media access was interrupted mid-way.
+    const std::size_t l = cand[rng.next_below(cand.size())];
+    const std::size_t xp_first = (l / kLinesPerXP) * kLinesPerXP;
+    const std::size_t cut = 1 + rng.next_below(kXPLineSize - 1);
+    for (std::size_t b = cut; b < kXPLineSize; ++b) {
+      const std::size_t ll = xp_first + b / kCacheLineSize;
+      if (ll >= n_lines_) break;
+      if (c.spare_watch_range && line_in_watch(ll)) continue;
+      bytes[xp_first * kCacheLineSize + b] =
+          static_cast<unsigned char>(rng.next());
+    }
+    for (std::size_t j = 0; j < kLinesPerXP; ++j) {
+      const std::size_t ll = xp_first + j;
+      if (ll >= n_lines_ || (ll + 1) * kCacheLineSize <= xp_first * kCacheLineSize + cut) continue;
+      if (c.spare_watch_range && line_in_watch(ll)) continue;
+      hit.push_back(ll);
+    }
+  }
+  for (std::uint32_t i = 0; i < c.dropped_lines; ++i) {
+    // Dropped write-back: the line's last write never happened; 3D-XPoint
+    // reads the region as if freshly formatted.
+    const std::size_t l = cand[rng.next_below(cand.size())];
+    std::memset(bytes + l * kCacheLineSize, 0, kCacheLineSize);
+    hit.push_back(l);
+  }
+  for (std::uint32_t i = 0; i < c.bit_flips; ++i) {
+    const std::size_t l = cand[rng.next_below(cand.size())];
+    const std::size_t byte = rng.next_below(kCacheLineSize);
+    bytes[l * kCacheLineSize + byte] ^=
+        static_cast<unsigned char>(1u << rng.next_below(8));
+    hit.push_back(l);
+  }
+
+  // Mirror into the working image: after reboot, reads see the corrupt
+  // media content.
+  std::sort(hit.begin(), hit.end());
+  hit.erase(std::unique(hit.begin(), hit.end()), hit.end());
+  for (const std::size_t l : hit) {
+    std::memcpy(working_ + l * kCacheLineSize, media_ + l * kCacheLineSize,
+                kCacheLineSize);
+  }
+  return hit.size();
 }
 
 }  // namespace bdhtm::nvm

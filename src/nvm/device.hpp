@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/defs.hpp"
+#include "nvm/fault_plan.hpp"
 
 namespace bdhtm::nvm {
 
@@ -177,6 +178,41 @@ class Device {
     return out;
   }
 
+  // ---- Fault-plan machinery (fault_plan.hpp) ----
+
+  /// Arm a deterministic crash at the plan's trigger event. One-shot:
+  /// the following simulate_crash() disarms it. Caller must be quiesced
+  /// relative to re-arming (workers may be running when the plan trips).
+  void arm_fault_plan(const FaultPlan& plan);
+  void disarm_fault_plan();
+
+  /// True once the armed plan's trigger event occurred; the media is
+  /// frozen from that instant until simulate_crash().
+  bool fault_tripped() const {
+    return fault_tripped_.load(std::memory_order_acquire);
+  }
+
+  /// Events of class `e` observed since construction. Counted whether or
+  /// not a plan is armed, so a profiling run can size an enumeration.
+  std::uint64_t fault_events(FaultEvent e) const {
+    return fault_counts_[static_cast<int>(e)].load(std::memory_order_relaxed);
+  }
+
+  /// Register the range whose media writes count as kCounterWrite events
+  /// (the epoch system wires its persistent root here). Also spared from
+  /// random corruption by MediaCorruption::spare_watch_range.
+  void set_fault_watch(const void* addr, std::size_t len);
+
+  /// Inject corruption into the media image (and mirror it into the
+  /// working image, as a post-reboot read would see it). Targets only
+  /// lines ever written to the media. Caller must be quiesced. Returns
+  /// the number of lines corrupted.
+  std::uint64_t corrupt_media(const MediaCorruption& c);
+
+  /// Lines ever written to the media — the candidate set corrupt_media
+  /// draws from; lets sweeps express corruption as a fraction.
+  std::uint64_t media_lines_written() const;
+
   DeviceStats& stats() { return stats_; }
   const DeviceStats& stats() const { return stats_; }
 
@@ -191,6 +227,14 @@ class Device {
   void charge_write(std::size_t n);
   void flush_line_to_media(std::size_t line);
 
+  /// Count one fault event and trip the armed plan when it is the
+  /// trigger. Relaxed counters: the enumeration tests that rely on exact
+  /// trigger ordering run the flush path single-threaded.
+  void fault_note(FaultEvent e);
+  bool line_in_watch(std::size_t line) const {
+    return line >= watch_first_line_ && line <= watch_last_line_;
+  }
+
   DeviceConfig cfg_;
   std::byte* working_ = nullptr;
   std::byte* media_ = nullptr;
@@ -202,6 +246,18 @@ class Device {
     std::vector<std::size_t> lines;
   };
   std::unique_ptr<Padded<PendingSlot>[]> pending_;
+
+  // ---- Fault-plan state ----
+  FaultPlan fault_plan_{};
+  std::atomic<bool> fault_armed_{false};
+  std::atomic<bool> fault_tripped_{false};
+  std::atomic<std::uint64_t>
+      fault_counts_[static_cast<int>(FaultEvent::kNumEvents)]{};
+  // Watch range in line indices; empty by default (first > last).
+  std::size_t watch_first_line_ = 1;
+  std::size_t watch_last_line_ = 0;
+  // One byte per line: set once the line has ever reached the media.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> media_written_;
 
   mutable DeviceStats stats_;
 };

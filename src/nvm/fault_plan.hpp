@@ -1,0 +1,80 @@
+// Deterministic fault-plan injection (DESIGN.md §5).
+//
+// simulate_crash() alone samples crash points coarsely: wherever the test
+// happens to call it. A FaultPlan instead arms the device to "lose power"
+// at the N-th occurrence of a chosen device-event class, so a test can
+// *enumerate* every crash point an op sequence exposes — every clwb, every
+// fence, every line reaching the media, and specifically every media write
+// of the persisted-epoch counter (the window between the epoch system's
+// flush barrier and its counter publish).
+//
+// Tripping freezes the media image: from that instant no line write-back
+// takes effect, exactly as if the machine died mid-instruction. The
+// subsequent simulate_crash() then skips the probabilistic eviction
+// lottery (an armed plan is a *deterministic* crash — same plan, same op
+// sequence, bit-identical media image) and applies the plan's optional
+// media corruption before reboot.
+//
+// The corruption model mirrors real 3D-XPoint failure modes at the
+// granularities the simulator models: torn 256 B XPLine writes (a suffix
+// of the XPLine is garbage), dropped lines (a write-back that never
+// happened: the line reads as zeros), and single bit flips. Corruption
+// only targets lines that were ever written to the media — blank heap
+// pages cannot "rot" into fake blocks — and by default spares the watched
+// persisted-counter line, whose loss is a separate (clean) failure mode
+// already covered by kCounterWrite plans.
+#pragma once
+
+#include <cstdint>
+
+namespace bdhtm::nvm {
+
+/// Device event classes a FaultPlan can trigger on. Counters for all
+/// classes run whether or not a plan is armed, so a profiling run can
+/// first measure how many events of each class an op sequence generates
+/// and then enumerate trigger points 0..count-1.
+enum class FaultEvent : std::uint8_t {
+  kClwb = 0,      // clwb / clwb_nontxn retired (including per-line clwbs
+                  // charged by the bulk flush paths)
+  kFence = 1,     // drain / sfence retired (including the implicit fence
+                  // of each bulk flush call)
+  kEviction = 2,  // a cache line written back to the media, except lines
+                  // inside the fault-watch range
+  kCounterWrite = 3,  // a media write overlapping the fault-watch range
+                      // (the persisted-epoch counter line): tripping here
+                      // crashes between flush barrier and counter publish
+  kNumEvents = 4,
+};
+
+/// Corruption applied to the media image at crash time (or injected
+/// directly via Device::corrupt_media for post-crash sweeps). All targets
+/// are drawn deterministically from `seed` over the set of lines that
+/// were ever written to the media.
+struct MediaCorruption {
+  std::uint32_t torn_xplines = 0;  // scramble a random suffix of an XPLine
+  std::uint32_t dropped_lines = 0;  // line write-back lost: reads as zeros
+  std::uint32_t bit_flips = 0;      // flip one random bit in a line
+  std::uint64_t seed = 0xc044;
+  /// Keep the fault-watch range (persistent root / epoch counter) intact.
+  /// Corrupting it makes the whole heap unrecoverable by design — a
+  /// distinct failure mode tests opt into explicitly.
+  bool spare_watch_range = true;
+
+  bool any() const {
+    return torn_xplines != 0 || dropped_lines != 0 || bit_flips != 0;
+  }
+};
+
+/// Crash at the `trigger_at`-th (0-based) event of class `event`. The
+/// triggering event itself has no media effect: a plan at trigger_at == N
+/// models dying just before event N completes, so enumerating N over
+/// [0, count] covers "nothing of event N survived" through "everything
+/// survived" with no gaps.
+struct FaultPlan {
+  FaultEvent event = FaultEvent::kClwb;
+  std::uint64_t trigger_at = 0;
+  /// Corruption applied by the simulate_crash() that follows the trip.
+  MediaCorruption crash_corruption{};
+};
+
+}  // namespace bdhtm::nvm

@@ -11,8 +11,10 @@
 // proving the harness can actually detect buffering bugs.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -235,6 +237,122 @@ TEST(CrashFuzzNegative, HarnessCatchesMissingTracking) {
   // The untracked write was lost by the crash — exactly what would make
   // the positive fuzz above fail if a structure forgot to track.
   EXPECT_EQ(rec.find(kKey), 111u);
+}
+
+// ---- Crash while the background advancer is live ----
+//
+// The parametric fuzz above drives epochs manually, so crashes always
+// land between transitions. Here the real machinery runs: a background
+// advancer with a multi-thread flusher pool, and a FaultPlan that pulls
+// the plug at a device event *inside* a transition — including the
+// window between the flush barrier and the persisted-counter write
+// (kCounterWrite), the exact interval the BDL proof's ordering protects.
+// The recovered state must equal the oracle after some prefix of the op
+// sequence: epoch boundaries fall between ops for a single-threaded
+// driver, so any consistent cut is an op prefix.
+
+struct LiveFuzzWorld {
+  explicit LiveFuzzWorld(const nvm::FaultPlan& plan) {
+    nvm::DeviceConfig cfg;
+    cfg.capacity = 64ull << 20;
+    cfg.dirty_survival = 0.0;
+    cfg.pending_survival = 0.0;
+    dev = std::make_unique<nvm::Device>(cfg);
+    dev->arm_fault_plan(plan);
+    pa = std::make_unique<alloc::PAllocator>(*dev);
+    epoch::EpochSys::Config ecfg;
+    ecfg.start_advancer = true;
+    ecfg.epoch_length_us = 300;
+    ecfg.flusher_threads = 2;
+    es = std::make_unique<epoch::EpochSys>(*pa, ecfg);
+  }
+  void crash_and_attach() {
+    es.reset();  // joins the advancer and its flusher pool
+    dev->simulate_crash();
+    pa = std::make_unique<alloc::PAllocator>(*dev,
+                                             alloc::PAllocator::Mode::kAttach);
+    epoch::EpochSys::Config ecfg;
+    ecfg.start_advancer = false;
+    ecfg.attach = true;
+    es = std::make_unique<epoch::EpochSys>(*pa, ecfg);
+  }
+  std::unique_ptr<nvm::Device> dev;
+  std::unique_ptr<alloc::PAllocator> pa;
+  std::unique_ptr<epoch::EpochSys> es;
+};
+
+void fuzz_live_advancer(nvm::FaultEvent event, std::uint64_t trigger_at,
+                        std::uint64_t seed) {
+  nvm::FaultPlan plan;
+  plan.event = event;
+  plan.trigger_at = trigger_at;
+  LiveFuzzWorld w(plan);
+  std::vector<Oracle> prefixes;
+  {
+    hash::BDSpash m(*w.es);
+    Oracle oracle;
+    prefixes.push_back(oracle);  // the empty prefix (crash before any op)
+    Rng rng(seed);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    int i = 0;
+    while (!w.dev->fault_tripped() &&
+           std::chrono::steady_clock::now() < deadline) {
+      const std::uint64_t k = rng.next_below(std::uint64_t{1} << kUbits);
+      if (rng.next_below(3) == 0) {
+        m.remove(k);
+        oracle.erase(k);
+      } else {
+        const std::uint64_t v = 1 + rng.next_below(std::uint64_t{1} << 40);
+        m.insert(k, v);
+        oracle[k] = v;
+      }
+      prefixes.push_back(oracle);
+      // Let the advancer overlap the op stream (and reach the trigger)
+      // instead of racing a pure CPU-bound loop on a small machine.
+      if (++i % 32 == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+    ASSERT_TRUE(w.dev->fault_tripped())
+        << "plan never tripped: advancer generated no event "
+        << static_cast<int>(event) << " #" << trigger_at;
+  }
+  w.crash_and_attach();
+  hash::BDSpash rec(*w.es);
+  rec.recover();
+  EXPECT_EQ(w.es->last_recovery().blocks_quarantined, 0u)
+      << "clean planned crash must not quarantine blocks";
+  // Dump the recovered contents and require them to be an exact prefix.
+  Oracle got;
+  for (std::uint64_t k = 0; k < (std::uint64_t{1} << kUbits); ++k) {
+    if (auto v = rec.find(k)) got[k] = *v;
+  }
+  bool is_prefix = false;
+  for (const auto& p : prefixes) {
+    if (p == got) {
+      is_prefix = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(is_prefix)
+      << "recovered state (" << got.size()
+      << " keys) matches no prefix of the op sequence";
+}
+
+TEST(CrashFuzzLiveAdvancer, CounterWriteWindow) {
+  // Trip on a media write of the persisted-epoch counter: the crash
+  // lands after the flush barrier, before the counter publish completes.
+  fuzz_live_advancer(nvm::FaultEvent::kCounterWrite, 10, 0x11e1);
+}
+
+TEST(CrashFuzzLiveAdvancer, MidFlushClwb) {
+  // Trip deep inside a transition's write-back fan-out.
+  fuzz_live_advancer(nvm::FaultEvent::kClwb, 400, 0x11e2);
+}
+
+TEST(CrashFuzzLiveAdvancer, MidFlushEviction) {
+  fuzz_live_advancer(nvm::FaultEvent::kEviction, 250, 0x11e3);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // crash-consistency property.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -533,6 +534,135 @@ TEST(EpochSys, ConcurrentOpsWithBackgroundAdvancer) {
   // No assertion failures / crashes = pass; sanity: epochs advanced.
   EXPECT_GT(env.es->stats().epochs_advanced.load(), 3u);
   EXPECT_GT(env.es->stats().blocks_reclaimed.load(), 0u);
+}
+
+// ---- Recovery-frontier saturation ----
+//
+// recovery_frontier() must saturate below kFirstEpoch instead of
+// wrapping: a crash before the second transition ever completed leaves
+// persisted == kFirstEpoch (or +1), and `persisted - 2` would underflow
+// to ~2^64 — a frontier that "validates" every uncommitted block.
+
+TEST(EpochFrontier, SaturatesAtFirstEpoch) {
+  constexpr auto kFirst = EpochSys::kFirstEpoch;
+  // No transition ever persisted: nothing is durable.
+  EXPECT_EQ(EpochSys::recovery_frontier(kFirst), kFirst - 1);
+  // One transition persisted: its epoch is still in-flight, not valid.
+  EXPECT_EQ(EpochSys::recovery_frontier(kFirst + 1), kFirst - 1);
+  // From the second transition on, the plain e-2 rule applies.
+  EXPECT_EQ(EpochSys::recovery_frontier(kFirst + 2), kFirst);
+  EXPECT_EQ(EpochSys::recovery_frontier(kFirst + 10), kFirst + 8);
+  // Degenerate counters (possible only through corruption) must not
+  // wrap either.
+  EXPECT_EQ(EpochSys::recovery_frontier(0), kFirst - 1);
+  EXPECT_EQ(EpochSys::recovery_frontier(1), kFirst - 1);
+}
+
+TEST(EpochFrontier, CrashBeforeFirstTransitionRecoversEmpty) {
+  nvm::Device dev(tiny());
+  {
+    PAllocator pa(dev);
+    EpochSys::Config cfg;
+    cfg.start_advancer = false;
+    EpochSys es(pa, cfg);
+    // Write in the very first epoch; crash before any advance.
+    es.beginOp();
+    void* p = es.pNew(16);
+    const std::uint64_t v = 0x99;
+    es.pSet(p, &v, sizeof(v));
+    EpochSys::set_epoch_nontx(dev, p, es.current_epoch());
+    es.pTrack(p);
+    es.endOp();
+  }
+  dev.simulate_crash();
+  PAllocator pa(dev, PAllocator::Mode::kAttach);
+  EpochSys::Config cfg;
+  cfg.start_advancer = false;
+  cfg.attach = true;
+  EpochSys es(pa, cfg);
+  EXPECT_EQ(es.persisted_epoch(), EpochSys::kFirstEpoch);
+  int live = 0;
+  const auto rep = es.recover([&](void*, std::uint64_t) { ++live; });
+  // The frontier saturates to "nothing durable": the epoch-kFirstEpoch
+  // block must be discarded, never resurrected by a wrapped frontier.
+  EXPECT_EQ(live, 0);
+  EXPECT_EQ(rep.blocks_live, 0u);
+  EXPECT_EQ(rep.blocks_quarantined, 0u);
+}
+
+// ---- Advancer watchdog ----
+
+TEST(EpochWatchdog, StalledAdvancerTripsAndAdvancesInline) {
+  nvm::Device dev(tiny());
+  PAllocator pa(dev);
+  EpochSys::Config cfg;
+  cfg.start_advancer = true;
+  cfg.epoch_length_us = 1000;
+  cfg.watchdog_timeout_us = 3000;
+  EpochSys es(pa, cfg);
+  es.stall_advancer_for_testing(true);  // models a dead/descheduled advancer
+  const auto before = es.persisted_epoch();
+  // Keep operating; durability must keep progressing without the
+  // advancer, driven inline by this worker after the watchdog trips.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (es.stats().inline_advances.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    es.beginOp();
+    void* p = es.pNew(16);
+    const std::uint64_t v = 1;
+    es.pSet(p, &v, sizeof(v));
+    EpochSys::set_epoch_nontx(dev, p, es.current_epoch());
+    es.pTrack(p);
+    es.endOp();
+  }
+  EXPECT_GT(es.stats().watchdog_trips.load(), 0u)
+      << "stall never detected";
+  EXPECT_GT(es.stats().inline_advances.load(), 0u)
+      << "no inline transition after the trip";
+  EXPECT_GT(es.persisted_epoch(), before)
+      << "durability made no progress in degraded mode";
+  es.stall_advancer_for_testing(false);
+  // Destructor must join the (parked but stop-responsive) advancer.
+}
+
+TEST(EpochWatchdog, HealthyAdvancerNeverTrips) {
+  nvm::Device dev(tiny());
+  PAllocator pa(dev);
+  EpochSys::Config cfg;
+  cfg.start_advancer = true;
+  cfg.epoch_length_us = 500;
+  // Generous deadline so CI scheduling hiccups cannot flake this.
+  cfg.watchdog_timeout_us = 10'000'000;
+  EpochSys es(pa, cfg);
+  for (int i = 0; i < 2000; ++i) {
+    es.beginOp();
+    void* p = es.pNew(16);
+    const std::uint64_t v = i;
+    es.pSet(p, &v, sizeof(v));
+    EpochSys::set_epoch_nontx(dev, p, es.current_epoch());
+    es.pTrack(p);
+    es.endOp();
+  }
+  EXPECT_EQ(es.stats().watchdog_trips.load(), 0u);
+  EXPECT_EQ(es.stats().inline_advances.load(), 0u);
+}
+
+TEST(EpochWatchdog, DisabledWithoutAdvancer) {
+  // Manual-advance configurations (all the tests above) must never be
+  // treated as stalled, no matter how long they sit between advances.
+  nvm::Device dev(tiny());
+  PAllocator pa(dev);
+  EpochSys::Config cfg;
+  cfg.start_advancer = false;
+  cfg.watchdog_timeout_us = 1;  // absurdly tight: would trip instantly
+  EpochSys es(pa, cfg);
+  for (int i = 0; i < 100; ++i) {
+    es.beginOp();
+    es.endOp();
+  }
+  EXPECT_EQ(es.stats().watchdog_trips.load(), 0u);
+  EXPECT_EQ(es.stats().inline_advances.load(), 0u);
 }
 
 }  // namespace

@@ -24,14 +24,14 @@ nvm::DeviceConfig cfg_mb(std::size_t mb) {
 }
 
 TEST(PAllocator, ClassForSelectsSmallestFit) {
-  // stride must fit header (32 B) + payload
+  // stride must fit header (48 B) + payload
   EXPECT_EQ(PAllocator::class_for(1), 0u);
-  EXPECT_EQ(PAllocator::class_for(32), 0u);   // 32+32 = 64
-  EXPECT_EQ(PAllocator::class_for(33), 1u);   // needs 128
-  EXPECT_EQ(PAllocator::class_for(96), 1u);
-  EXPECT_EQ(PAllocator::class_for(97), 2u);
-  EXPECT_EQ(PAllocator::class_for(65504), 10u);
-  EXPECT_EQ(PAllocator::class_for(65505), PAllocator::kNumClasses);  // large
+  EXPECT_EQ(PAllocator::class_for(16), 0u);   // 16+48 = 64
+  EXPECT_EQ(PAllocator::class_for(17), 1u);   // needs 128
+  EXPECT_EQ(PAllocator::class_for(80), 1u);
+  EXPECT_EQ(PAllocator::class_for(81), 2u);
+  EXPECT_EQ(PAllocator::class_for(65488), 10u);
+  EXPECT_EQ(PAllocator::class_for(65489), PAllocator::kNumClasses);  // large
 }
 
 TEST(PAllocator, AllocInitializesHeader) {
