@@ -42,11 +42,24 @@ PAllocator::PAllocator(nvm::Device& dev, Mode mode) : dev_(dev) {
     // tests do by constructing a fresh Device.
     return;
   }
-  // kAttach: find the watermark by scanning for valid superblock headers.
+  // kAttach: rebuild the watermark by walking superblock headers. Only
+  // the FIRST superblock of a large span carries a header, so the walk
+  // advances by each validated span and the watermark covers span
+  // interiors — a flat per-superblock magic scan would leave the
+  // watermark mid-span for a live large allocation at the heap tail, and
+  // the next carve would hand out superblocks inside its payload.
+  // Superblocks with magic but insane geometry advance by 1: they stay
+  // carved (out of circulation) and every scan skips them as opaque.
   std::size_t watermark = 0;
-  for (std::size_t i = 0; i < max_superblocks_; ++i) {
+  for (std::size_t i = 0; i < max_superblocks_;) {
     auto* sb = reinterpret_cast<SuperblockHeader*>(at(sb_offset(i)));
-    if (sb->magic == kSbMagic) watermark = i + 1;
+    if (sb->magic != kSbMagic) {
+      ++i;  // never persisted (e.g. crash mid-carve): may be a gap
+      continue;
+    }
+    const std::size_t span = superblock_span(sb, i);
+    i += span == 0 ? 1 : span;
+    watermark = i;
   }
   next_superblock_.store(watermark, std::memory_order_release);
   // Free lists stay empty until rebuild_free_lists(); the epoch-system

@@ -2,7 +2,7 @@
 //
 // Segregated size classes carved from 256 KiB superblocks inside an
 // nvm::Device, with per-thread block caches so the pNew() fast path is
-// lock-free. Every block carries a self-describing 40-byte header
+// lock-free. Every block carries a self-describing 48-byte header
 // (status, create/delete epoch, user size, integrity tag) — the metadata
 // the epoch system's §5.2 recovery scan classifies blocks by.
 //
@@ -186,14 +186,18 @@ class PAllocator {
   }
   /// Validated span of a formatted superblock: how many superblocks its
   /// header claims to cover, or 0 when the claim is insane (unknown size
-  /// class, zero/overflowing span) and the superblock must be skipped as
-  /// an opaque unit.
+  /// class, zero span, span overflowing the device) and the superblock
+  /// must be skipped as an opaque unit. The bound is device capacity, NOT
+  /// the carve watermark: after a crash the kAttach scan derives the
+  /// watermark from headers alone, and only the FIRST superblock of a
+  /// large span carries one — a live span at the heap tail must still
+  /// validate even though no later carve pushed the watermark past it.
   std::size_t superblock_span(const SuperblockHeader* sb,
                               std::size_t index) const {
     if (sb->size_class > kNumClasses) return 0;
     const auto span = static_cast<std::size_t>(sb->span);
     if (sb->size_class == kNumClasses) {
-      return (span == 0 || index + span > superblock_watermark()) ? 0 : span;
+      return (span == 0 || span > max_superblocks_ - index) ? 0 : span;
     }
     return span == 1 ? 1 : 0;
   }

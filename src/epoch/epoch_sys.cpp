@@ -230,8 +230,13 @@ std::uint64_t EpochSys::watchdog_deadline_ns() const {
 
 void EpochSys::watchdog_check(ThreadState& ts) {
   const std::uint64_t deadline = watchdog_deadline_ns();
+  // Load the stamp BEFORE sampling the clock: a concurrent advance_locked
+  // can publish a later stamp, and unsigned `now - last` would wrap into
+  // a huge value — a spurious trip. Saturating compare guards the same
+  // race on the re-check below.
+  std::uint64_t last = last_transition_ns_.load(std::memory_order_relaxed);
   std::uint64_t now = now_ns();
-  if (now - last_transition_ns_.load(std::memory_order_relaxed) < deadline) {
+  if (now < last || now - last < deadline) {
     ts.wd_backoff_ns = 0;  // healthy again: reset the rescue backoff
     return;
   }
@@ -242,9 +247,9 @@ void EpochSys::watchdog_check(ThreadState& ts) {
   if (advance_mu_.try_lock()) {
     std::lock_guard lk(advance_mu_, std::adopt_lock);
     // Re-check under the lock: another worker may have just rescued.
+    last = last_transition_ns_.load(std::memory_order_relaxed);
     now = now_ns();
-    if (now - last_transition_ns_.load(std::memory_order_relaxed) >=
-        deadline) {
+    if (now >= last && now - last >= deadline) {
       advance_locked(std::stop_token{});
       stats_.inline_advances.fetch_add(1, std::memory_order_relaxed);
     }

@@ -88,20 +88,25 @@ void Device::clwb_nontxn(const void* addr) {
 }
 
 BDHTM_NO_SANITIZE_THREAD
-void Device::flush_line_to_media(std::size_t line) {
-  // Every path by which a line reaches the media funnels through here, so
-  // this is the single point where a tripped fault plan freezes the media
-  // (power is out: nothing written after the trigger instant lands) and
-  // where the trigger event itself is detected — the write that trips the
-  // plan is the first one that does NOT complete.
-  if (fault_tripped_.load(std::memory_order_acquire)) return;
-  fault_note(line_in_watch(line) ? FaultEvent::kCounterWrite
-                                 : FaultEvent::kEviction);
-  if (fault_tripped_.load(std::memory_order_acquire)) return;
+void Device::copy_line_to_media(std::size_t line) {
   std::memcpy(media_ + line * kCacheLineSize,
               working_ + line * kCacheLineSize, kCacheLineSize);
   media_written_[line].store(1, std::memory_order_relaxed);
   stats_.media_line_writes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Device::flush_line_to_media(std::size_t line) {
+  // Every path by which a line reaches the media during normal operation
+  // funnels through here, so this is the single point where a tripped
+  // fault plan freezes the media (power is out: nothing written after the
+  // trigger instant lands) and where the trigger event itself is detected
+  // — the write that trips the plan is the first one that does NOT
+  // complete.
+  if (fault_tripped_.load(std::memory_order_acquire)) return;
+  fault_note(line_in_watch(line) ? FaultEvent::kCounterWrite
+                                 : FaultEvent::kEviction);
+  if (fault_tripped_.load(std::memory_order_acquire)) return;
+  copy_line_to_media(line);
 }
 
 void Device::drain() {
@@ -250,7 +255,11 @@ void Device::simulate_crash() {
         survive_p = cfg_.dirty_survival;
       }
       if (rng.next_double() < survive_p) {
-        flush_line_to_media(l);  // the line happened to reach the media
+        // The line happened to reach the media. Raw copy, NOT
+        // flush_line_to_media: the crash itself must not count fault
+        // events, or a profile run's trigger_at indices would stop
+        // mapping onto workload events across a crash boundary.
+        copy_line_to_media(l);
       }
       line_state_[l].store(kClean, std::memory_order_relaxed);
     }
@@ -326,6 +335,9 @@ std::uint64_t Device::corrupt_media(const MediaCorruption& c) {
     for (std::size_t b = cut; b < kXPLineSize; ++b) {
       const std::size_t ll = xp_first + b / kCacheLineSize;
       if (ll >= n_lines_) break;
+      // Never-written neighbor lines inside the XPLine stay blank: the
+      // contract above says blank pages cannot rot into fake blocks.
+      if (media_written_[ll].load(std::memory_order_relaxed) == 0) continue;
       if (c.spare_watch_range && line_in_watch(ll)) continue;
       bytes[xp_first * kCacheLineSize + b] =
           static_cast<unsigned char>(rng.next());
@@ -333,6 +345,7 @@ std::uint64_t Device::corrupt_media(const MediaCorruption& c) {
     for (std::size_t j = 0; j < kLinesPerXP; ++j) {
       const std::size_t ll = xp_first + j;
       if (ll >= n_lines_ || (ll + 1) * kCacheLineSize <= xp_first * kCacheLineSize + cut) continue;
+      if (media_written_[ll].load(std::memory_order_relaxed) == 0) continue;
       if (c.spare_watch_range && line_in_watch(ll)) continue;
       hit.push_back(ll);
     }

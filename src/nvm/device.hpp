@@ -225,6 +225,10 @@ class Device {
   }
   void charge_read() const;
   void charge_write(std::size_t n);
+  /// Raw working→media copy of one line, no fault-plan interaction. Used
+  /// by flush_line_to_media and by simulate_crash's eviction lottery,
+  /// which must not perturb the fault-event counters.
+  void copy_line_to_media(std::size_t line);
   void flush_line_to_media(std::size_t line);
 
   /// Count one fault event and trip the armed plan when it is the

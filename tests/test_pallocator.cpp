@@ -164,6 +164,52 @@ TEST(PAllocator, AttachModeFindsWatermark) {
   EXPECT_EQ(attached.bytes_reserved(), reserved);
 }
 
+// Regression: a large multi-superblock span carved LAST has no later
+// superblock header after it, and only its FIRST superblock carries
+// magic. The attach watermark walk must still cover the whole span —
+// a flat magic scan stopped at first_index + 1, which made
+// superblock_span() reject the live span as corrupt (losing the durable
+// block) and let the next carve hand out superblocks inside its payload.
+TEST(PAllocator, TailLargeSpanSurvivesAttach) {
+  nvm::Device dev(cfg_mb(32));
+  auto pa = std::make_unique<PAllocator>(dev);
+  void* small = pa->alloc(16);
+  const std::size_t big = 1 << 20;  // spans several superblocks
+  void* large = pa->alloc(big);
+  for (void* p : {small, large}) {
+    BlockHeader* h = PAllocator::header_of(p);
+    h->create_epoch = 7;
+    dev.mark_dirty(h, sizeof(*h));
+    dev.persist_nontxn(h, sizeof(*h));
+  }
+  std::memset(large, 0x5a, big);
+  dev.mark_dirty(large, big);
+  dev.persist_nontxn(large, big);
+  const auto reserved = pa->bytes_reserved();
+  pa.reset();
+  dev.simulate_crash();
+
+  PAllocator attached(dev, PAllocator::Mode::kAttach);
+  // Watermark covers the span interior, not just its first superblock.
+  EXPECT_EQ(attached.bytes_reserved(), reserved);
+  EXPECT_EQ(attached.corrupt_superblock_count(), 0u);
+  bool found_large = false;
+  attached.for_each_block([&](BlockHeader* hdr, void* payload) {
+    if (payload != large) return;
+    found_large = true;
+    EXPECT_TRUE(attached.validate_header(hdr));
+    EXPECT_EQ(hdr->user_size, big);
+    EXPECT_EQ(*static_cast<std::uint8_t*>(payload), 0x5au);
+  });
+  EXPECT_TRUE(found_large) << "durable tail span lost by the attach scan";
+  // A fresh carve must land beyond the span, never inside its payload.
+  attached.rebuild_free_lists();
+  auto* fresh = static_cast<std::byte*>(attached.alloc(4000));
+  auto* span_begin = static_cast<std::byte*>(large);
+  const bool inside = fresh >= span_begin && fresh < span_begin + big;
+  EXPECT_FALSE(inside) << "new carve overlapped the live large span";
+}
+
 TEST(PAllocator, ExhaustionThrowsBadAlloc) {
   nvm::Device dev(cfg_mb(1));
   PAllocator pa(dev);
