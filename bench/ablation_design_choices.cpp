@@ -55,8 +55,14 @@ void ablation_routing() {
        {std::pair{"hybrid", R::kHybrid}, std::pair{"all-track", R::kAllTrack},
         std::pair{"all-immediate", R::kAllImmediate}}) {
     std::printf("%-16s", name);
-    std::printf(" %14.3f", run_bdspash(r, 16, 0.99));
-    std::printf(" %14.3f", run_bdspash(r, 256, 0.99));
+    const double small = run_bdspash(r, 16, 0.99);
+    const double large = run_bdspash(r, 256, 0.99);
+    bench::record_row("A. persist routing, 16B blocks", name, 1, small,
+                      "Mops");
+    bench::record_row("A. persist routing, 256B blocks", name, 1, large,
+                      "Mops");
+    std::printf(" %14.3f", small);
+    std::printf(" %14.3f", large);
     std::printf("\n");
     std::fflush(stdout);
   }
@@ -89,6 +95,9 @@ void ablation_prealloc() {
     // (in-place updates consume none; the preallocated block is reused).
     const double allocs_per_op =
         r.ops > 0 ? double(pa.bytes_in_use() - used0) / 64.0 / r.ops : 0;
+    bench::record_row("B. prealloc reuse", name, 1, r.mops(), "Mops");
+    bench::record_row("B. prealloc reuse, allocs/op", name, 1,
+                      allocs_per_op, "allocs/op");
     std::printf("%-16s %12.3f %16.3f %15.1f%%\n", name, r.mops(),
                 allocs_per_op, 100.0 * (1.0 - std::min(1.0, allocs_per_op)));
     std::fflush(stdout);
@@ -122,6 +131,10 @@ void ablation_capacity() {
     htm::reset_stats();
     const auto r = workload::run_workload(tree, cfg);
     const auto s = htm::collect_stats();
+    bench::note_htm_stats();
+    char label[24];
+    std::snprintf(label, sizeof label, "read_cap=%zu", cap);
+    bench::record_row("C. HTM capacity", label, 1, r.mops(), "Mops");
     std::printf("%-16zu %12.3f %15.2f%% %16llu\n", cap, r.mops(),
                 s.attempts() ? 100.0 * s.aborts_capacity / s.attempts() : 0,
                 static_cast<unsigned long long>(s.fallback_acquisitions));
@@ -155,11 +168,18 @@ void ablation_coalescing() {
     const double mops = workload::run_workload(m, cfg).mops();
     const auto& s = es.stats();
     const auto epochs = s.epochs_advanced.load();
+    bench::record_row("D. coalescing", coalesce ? "on" : "off", 1, mops,
+                      "Mops");
+    bench::record_row("D. coalescing, bytes flushed",
+                      coalesce ? "on" : "off", 1,
+                      static_cast<double>(s.bytes_flushed.load()), "B");
     std::printf("%-12s %12.3f %16llu %14.2f %16.1f\n",
                 coalesce ? "on" : "off", mops,
                 static_cast<unsigned long long>(s.bytes_flushed.load()),
                 s.dedup_factor(),
-                epochs ? s.advance_ns_total.load() / 1e3 / epochs : 0.0);
+                epochs ? s.advance_ns_total() / 1e3 /
+                             static_cast<double>(epochs)
+                       : 0.0);
     std::fflush(stdout);
     bench::note_epoch_stats(s);
   }
@@ -167,7 +187,8 @@ void ablation_coalescing() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("ablation_design_choices", argc, argv);
   bench::print_header(
       "Ablations: BD-Spash persist routing / Listing-1 preallocation "
       "reuse / HTM capacity / write-back coalescing",
@@ -176,6 +197,5 @@ int main() {
   ablation_prealloc();
   ablation_capacity();
   ablation_coalescing();
-  bench::print_epoch_stats_summary();
-  return 0;
+  return bench::finish();
 }

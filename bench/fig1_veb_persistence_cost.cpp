@@ -52,7 +52,8 @@ double run_phtm_veb(int ubits, double theta, int threads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("fig1_veb_persistence_cost", argc, argv);
   const int ubits = bench::universe_bits(20);
   const auto threads = bench::thread_counts();
   bench::print_header(
@@ -64,13 +65,18 @@ int main() {
     std::printf("\n%s\n", name);
     bench::print_row_header("series", threads);
     std::printf("%-22s", "HTM-vEB");
-    for (int t : threads) std::printf("  %-10.3f", run_htm_veb(ubits, theta, t));
+    for (int t : threads) {
+      const double mops = run_htm_veb(ubits, theta, t);
+      bench::record_row(name, "HTM-vEB", t, mops, "Mops");
+      std::printf("  %-10.3f", mops);
+    }
     std::printf("\n%-22s", "PHTM-vEB");
     for (int t : threads) {
-      std::printf("  %-10.3f", run_phtm_veb(ubits, theta, t));
+      const double mops = run_phtm_veb(ubits, theta, t);
+      bench::record_row(name, "PHTM-vEB", t, mops, "Mops");
+      std::printf("  %-10.3f", mops);
     }
     std::printf("\n");
   }
-  bench::print_epoch_stats_summary();
-  return 0;
+  return bench::finish();
 }

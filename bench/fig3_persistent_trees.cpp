@@ -56,7 +56,8 @@ double run_nvm_tree(int ubits, const workload::Config& cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("fig3_persistent_trees", argc, argv);
   const int ubits = bench::universe_bits(18);
   const auto threads = bench::thread_counts();
   bench::print_header(
@@ -77,31 +78,26 @@ int main() {
   for (const Panel& p : panels) {
     std::printf("\n%s\n", p.name);
     bench::print_row_header("series", threads);
-    std::printf("%-22s", "PHTM-vEB");
-    for (int t : threads) {
-      std::printf("  %-10.3f",
-                  run_phtm(ubits, panel_cfg(ubits, p.theta, p.write_heavy, t)));
-    }
-    std::printf("\n%-22s", "LB+Tree");
-    for (int t : threads) {
-      std::printf("  %-10.3f",
-                  run_nvm_tree<trees::LBTree>(
-                      ubits, panel_cfg(ubits, p.theta, p.write_heavy, t)));
-    }
-    std::printf("\n%-22s", "OCC-ABTree");
-    for (int t : threads) {
-      std::printf("  %-10.3f",
-                  run_nvm_tree<trees::OCCABTree>(
-                      ubits, panel_cfg(ubits, p.theta, p.write_heavy, t)));
-    }
-    std::printf("\n%-22s", "Elim-ABTree");
-    for (int t : threads) {
-      std::printf("  %-10.3f",
-                  run_nvm_tree<trees::ElimABTree>(
-                      ubits, panel_cfg(ubits, p.theta, p.write_heavy, t)));
-    }
-    std::printf("\n");
+    auto series = [&](const char* name, auto&& run) {
+      std::printf("%-22s", name);
+      for (int t : threads) {
+        const double mops = run(panel_cfg(ubits, p.theta, p.write_heavy, t));
+        bench::record_row(p.name, name, t, mops, "Mops");
+        std::printf("  %-10.3f", mops);
+      }
+      std::printf("\n");
+    };
+    series("PHTM-vEB",
+           [&](const workload::Config& c) { return run_phtm(ubits, c); });
+    series("LB+Tree", [&](const workload::Config& c) {
+      return run_nvm_tree<trees::LBTree>(ubits, c);
+    });
+    series("OCC-ABTree", [&](const workload::Config& c) {
+      return run_nvm_tree<trees::OCCABTree>(ubits, c);
+    });
+    series("Elim-ABTree", [&](const workload::Config& c) {
+      return run_nvm_tree<trees::ElimABTree>(ubits, c);
+    });
   }
-  bench::print_epoch_stats_summary();
-  return 0;
+  return bench::finish();
 }

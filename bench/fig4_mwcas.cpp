@@ -72,7 +72,8 @@ void pick(Rng& rng, std::size_t n_slots, int n, std::size_t* idx) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("fig4_mwcas", argc, argv);
   const std::size_t n_slots =
       static_cast<std::size_t>(env_int("BDHTM_MWCAS_SLOTS", 1 << 18));
   bench::print_header(
@@ -128,9 +129,12 @@ int main() {
           pm.execute(w, n);
         });
       }
+      char label[16];
+      std::snprintf(label, sizeof label, "N=%d", n);
+      bench::record_row(impl, label, 1, mops, "Mops");
       std::printf(" %10.3f", mops);
     }
     std::printf("\n");
   }
-  return 0;
+  return bench::finish();
 }

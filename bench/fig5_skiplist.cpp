@@ -72,7 +72,8 @@ struct NvmBundle {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("fig5_skiplist", argc, argv);
   const std::uint64_t keys = std::uint64_t{1}
                              << bench::universe_bits(17);
   const auto threads = bench::thread_counts();
@@ -81,77 +82,65 @@ int main() {
       "paper: 1M keys; scaled default 2^17 keys (BDHTM_UNIVERSE_BITS)");
   bench::print_row_header("series", threads);
 
-  std::printf("%-22s", "DL-Skiplist");
-  for (int t : threads) {
-    std::printf("  %-10.3f", run_one(keys, t, [&] {
-      auto b = std::make_unique<NvmBundle>();
-      b->dev = std::make_unique<nvm::Device>(bench::nvm_cfg(device_cap(keys)));
-      b->pa = std::make_unique<alloc::PAllocator>(*b->dev);
-      b->dl = std::make_unique<skiplist::DLSkiplist>(*b->dev, *b->pa);
-      struct H {
-        std::unique_ptr<NvmBundle> b;
-        skiplist::DLSkiplist& operator*() { return *b->dl; }
-      };
-      return H{std::move(b)};
-    }));
-    std::fflush(stdout);
-  }
-  std::printf("\n%-22s", "P-Skiplist-no-flush");
-  for (int t : threads) {
-    std::printf("  %-10.3f", run_one(keys, t, [&] {
-      auto b = std::make_unique<NvmBundle>();
-      b->dev = std::make_unique<nvm::Device>(bench::nvm_cfg(device_cap(keys)));
-      b->pa = std::make_unique<alloc::PAllocator>(*b->dev);
-      b->nf = std::make_unique<skiplist::PSkiplistNoFlush>(*b->pa);
-      struct H {
-        std::unique_ptr<NvmBundle> b;
-        skiplist::PSkiplistNoFlush& operator*() { return *b->nf; }
-      };
-      return H{std::move(b)};
-    }));
-    std::fflush(stdout);
-  }
-  std::printf("\n%-22s", "P-Skiplist-HTM-MCAS");
-  for (int t : threads) {
-    std::printf("  %-10.3f", run_one(keys, t, [&] {
-      auto b = std::make_unique<NvmBundle>();
-      b->dev = std::make_unique<nvm::Device>(bench::nvm_cfg(device_cap(keys)));
-      b->pa = std::make_unique<alloc::PAllocator>(*b->dev);
-      b->hm = std::make_unique<skiplist::PSkiplistHTMMwCAS>(*b->pa);
-      struct H {
-        std::unique_ptr<NvmBundle> b;
-        skiplist::PSkiplistHTMMwCAS& operator*() { return *b->hm; }
-      };
-      return H{std::move(b)};
-    }));
-    std::fflush(stdout);
-  }
-  std::printf("\n%-22s", "BDL-Skiplist");
-  for (int t : threads) {
-    std::printf("  %-10.3f", run_one(keys, t, [&] {
-      auto b = std::make_unique<NvmBundle>();
-      b->dev = std::make_unique<nvm::Device>(bench::nvm_cfg(device_cap(keys)));
-      b->pa = std::make_unique<alloc::PAllocator>(*b->dev);
-      epoch::EpochSys::Config ecfg;
-      ecfg.epoch_length_us = 50'000;
-      b->es = std::make_unique<epoch::EpochSys>(*b->pa, ecfg);
-      b->bdl = std::make_unique<skiplist::BDLSkiplist>(*b->es);
-      struct H {
-        std::unique_ptr<NvmBundle> b;
-        skiplist::BDLSkiplist& operator*() { return *b->bdl; }
-      };
-      return H{std::move(b)};
-    }));
-    std::fflush(stdout);
-  }
-  std::printf("\n%-22s", "T-Skiplist");
-  for (int t : threads) {
-    std::printf("  %-10.3f", run_one(keys, t, [&] {
-      return TBundle{std::make_unique<skiplist::TSkiplist>()};
-    }));
-    std::fflush(stdout);
-  }
-  std::printf("\n");
-  bench::print_epoch_stats_summary();
-  return 0;
+  auto series = [&](const char* name, auto&& make) {
+    std::printf("%-22s", name);
+    for (int t : threads) {
+      const double mops = run_one(keys, t, make);
+      bench::record_row("skiplist", name, t, mops, "Mops");
+      std::printf("  %-10.3f", mops);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  };
+
+  series("DL-Skiplist", [&] {
+    auto b = std::make_unique<NvmBundle>();
+    b->dev = std::make_unique<nvm::Device>(bench::nvm_cfg(device_cap(keys)));
+    b->pa = std::make_unique<alloc::PAllocator>(*b->dev);
+    b->dl = std::make_unique<skiplist::DLSkiplist>(*b->dev, *b->pa);
+    struct H {
+      std::unique_ptr<NvmBundle> b;
+      skiplist::DLSkiplist& operator*() { return *b->dl; }
+    };
+    return H{std::move(b)};
+  });
+  series("P-Skiplist-no-flush", [&] {
+    auto b = std::make_unique<NvmBundle>();
+    b->dev = std::make_unique<nvm::Device>(bench::nvm_cfg(device_cap(keys)));
+    b->pa = std::make_unique<alloc::PAllocator>(*b->dev);
+    b->nf = std::make_unique<skiplist::PSkiplistNoFlush>(*b->pa);
+    struct H {
+      std::unique_ptr<NvmBundle> b;
+      skiplist::PSkiplistNoFlush& operator*() { return *b->nf; }
+    };
+    return H{std::move(b)};
+  });
+  series("P-Skiplist-HTM-MCAS", [&] {
+    auto b = std::make_unique<NvmBundle>();
+    b->dev = std::make_unique<nvm::Device>(bench::nvm_cfg(device_cap(keys)));
+    b->pa = std::make_unique<alloc::PAllocator>(*b->dev);
+    b->hm = std::make_unique<skiplist::PSkiplistHTMMwCAS>(*b->pa);
+    struct H {
+      std::unique_ptr<NvmBundle> b;
+      skiplist::PSkiplistHTMMwCAS& operator*() { return *b->hm; }
+    };
+    return H{std::move(b)};
+  });
+  series("BDL-Skiplist", [&] {
+    auto b = std::make_unique<NvmBundle>();
+    b->dev = std::make_unique<nvm::Device>(bench::nvm_cfg(device_cap(keys)));
+    b->pa = std::make_unique<alloc::PAllocator>(*b->dev);
+    epoch::EpochSys::Config ecfg;
+    ecfg.epoch_length_us = 50'000;
+    b->es = std::make_unique<epoch::EpochSys>(*b->pa, ecfg);
+    b->bdl = std::make_unique<skiplist::BDLSkiplist>(*b->es);
+    struct H {
+      std::unique_ptr<NvmBundle> b;
+      skiplist::BDLSkiplist& operator*() { return *b->bdl; }
+    };
+    return H{std::move(b)};
+  });
+  series("T-Skiplist",
+         [&] { return TBundle{std::make_unique<skiplist::TSkiplist>()}; });
+  return bench::finish();
 }

@@ -77,7 +77,8 @@ double run_plush(std::uint64_t keys, const workload::Config& cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("fig6_hash_tables", argc, argv);
   const std::uint64_t keys = std::uint64_t{1}
                              << bench::universe_bits(17);
   const auto threads = bench::thread_counts();
@@ -100,32 +101,30 @@ int main() {
   for (const Panel& p : panels) {
     std::printf("\n%s\n", p.name);
     bench::print_row_header("series", threads);
-    std::printf("%-22s", "Spash (eADR)");
-    for (int t : threads) {
-      std::printf("  %-10.3f",
-                  run_spash(keys, panel_cfg(keys, p.theta, p.write_heavy, t)));
-      std::fflush(stdout);
-    }
-    std::printf("\n%-22s", "BD-Spash");
-    for (int t : threads) {
-      std::printf("  %-10.3f", run_bdspash(keys, panel_cfg(keys, p.theta,
-                                                           p.write_heavy, t)));
-      std::fflush(stdout);
-    }
-    std::printf("\n%-22s", "CCEH");
-    for (int t : threads) {
-      std::printf("  %-10.3f",
-                  run_cceh(keys, panel_cfg(keys, p.theta, p.write_heavy, t)));
-      std::fflush(stdout);
-    }
-    std::printf("\n%-22s", "Plush");
-    for (int t : threads) {
-      std::printf("  %-10.3f",
-                  run_plush(keys, panel_cfg(keys, p.theta, p.write_heavy, t)));
-      std::fflush(stdout);
-    }
-    std::printf("\n");
+    auto series = [&](const char* name, auto&& run) {
+      std::printf("%-22s", name);
+      for (int t : threads) {
+        const double mops =
+            run(keys, panel_cfg(keys, p.theta, p.write_heavy, t));
+        bench::record_row(p.name, name, t, mops, "Mops");
+        std::printf("  %-10.3f", mops);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    };
+    series("Spash (eADR)",
+           [&](std::uint64_t k, const workload::Config& c) {
+             return run_spash(k, c);
+           });
+    series("BD-Spash", [&](std::uint64_t k, const workload::Config& c) {
+      return run_bdspash(k, c);
+    });
+    series("CCEH", [&](std::uint64_t k, const workload::Config& c) {
+      return run_cceh(k, c);
+    });
+    series("Plush", [&](std::uint64_t k, const workload::Config& c) {
+      return run_plush(k, c);
+    });
   }
-  bench::print_epoch_stats_summary();
-  return 0;
+  return bench::finish();
 }

@@ -44,6 +44,7 @@ double run_cell(int ubits, double theta, std::uint64_t epoch_us,
   const double mops = workload::run_workload(tree, cfg).mops();
   bench::note_epoch_stats(es.stats());
   const auto s = htm::collect_stats();
+  bench::note_htm_stats();  // fold this cell's window into the export
   *abort_pct = s.attempts() > 0
                    ? 100.0 * s.total_aborts() / s.attempts()
                    : 0.0;
@@ -52,7 +53,8 @@ double run_cell(int ubits, double theta, std::uint64_t epoch_us,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("fig7_epoch_length_throughput", argc, argv);
   const int ubits = bench::universe_bits(18);  // paper: 2^22 workload size
   bench::print_header(
       "Fig. 7: single-thread PHTM-vEB throughput vs epoch length",
@@ -80,12 +82,16 @@ int main() {
     double worst_abort = 0;
     for (auto e : epochs_us) {
       double abort_pct = 0;
-      std::printf(" %9.3f", run_cell(ubits, theta, e, &abort_pct));
+      const double mops = run_cell(ubits, theta, e, &abort_pct);
+      char label[24];
+      std::snprintf(label, sizeof label, "epoch_us=%llu",
+                    static_cast<unsigned long long>(e));
+      bench::record_row(name, label, 1, mops, "Mops");
+      std::printf(" %9.3f", mops);
       std::fflush(stdout);
       worst_abort = std::max(worst_abort, abort_pct);
     }
     std::printf("   (max abort share %.2f%%)\n", worst_abort);
   }
-  bench::print_epoch_stats_summary();
-  return 0;
+  return bench::finish();
 }

@@ -44,7 +44,8 @@ double run_cell_mib(int ubits, double theta, std::uint64_t epoch_us) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("fig8_epoch_length_space", argc, argv);
   const int ubits = bench::universe_bits(18);  // paper: 2^24 key space
   bench::print_header(
       "Fig. 8: PHTM-vEB NVM space (MiB) vs epoch length, 1 thread, "
@@ -70,11 +71,15 @@ int main() {
        {std::pair{"uniform", 0.0}, std::pair{"zipf 0.99", 0.99}}) {
     std::printf("%-16s", name);
     for (auto e : epochs_us) {
-      std::printf(" %9.1f", run_cell_mib(ubits, theta, e));
+      const double mib = run_cell_mib(ubits, theta, e);
+      char label[24];
+      std::snprintf(label, sizeof label, "epoch_us=%llu",
+                    static_cast<unsigned long long>(e));
+      bench::record_row(name, label, 1, mib, "MiB");
+      std::printf(" %9.1f", mib);
       std::fflush(stdout);
     }
     std::printf("\n");
   }
-  bench::print_epoch_stats_summary();
-  return 0;
+  return bench::finish();
 }

@@ -66,7 +66,7 @@ CellResult run_cell(int flushers, bool coalesce, int ops_per_epoch) {
   const auto epochs = s.epochs_advanced.load();
   CellResult r;
   r.mean_advance_us =
-      epochs ? s.advance_ns_total.load() / 1e3 / epochs : 0.0;
+      epochs ? s.advance_ns_total() / 1e3 / static_cast<double>(epochs) : 0.0;
   r.bytes_flushed = s.bytes_flushed.load();
   r.dedup = s.dedup_factor();
   bench::note_epoch_stats(s);
@@ -75,7 +75,8 @@ CellResult run_cell(int flushers, bool coalesce, int ops_per_epoch) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("fig9_writeback_pipeline", argc, argv);
   bench::print_header(
       "Fig. 9: epoch write-back pipeline — flushers x coalescing x epoch "
       "length",
@@ -98,6 +99,13 @@ int main() {
       std::printf("%-10s %-10d", coalesce ? "on" : "off", flushers);
       for (std::size_t i = 0; i < std::size(ops_per_epoch); ++i) {
         const auto r = run_cell(flushers, coalesce, ops_per_epoch[i]);
+        char table[48];
+        std::snprintf(table, sizeof table, "coalesce=%s ops/epoch=%d",
+                      coalesce ? "on" : "off", ops_per_epoch[i]);
+        bench::record_row(table, "mean_advance_us", flushers,
+                          r.mean_advance_us, "us");
+        bench::record_row(table, "bytes_flushed", flushers,
+                          static_cast<double>(r.bytes_flushed), "B");
         std::printf("   %-12.1f %-12.2f", r.mean_advance_us,
                     r.bytes_flushed / (1024.0 * 1024.0));
         if (flushers == 1) {
@@ -118,6 +126,5 @@ int main() {
                                : 0.0);
   }
   std::printf("\n");
-  bench::print_epoch_stats_summary();
-  return 0;
+  return bench::finish();
 }

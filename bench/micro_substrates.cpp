@@ -5,8 +5,10 @@
 // drive every figure-level result.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "alloc/pallocator.hpp"
 #include "bench/bench_common.hpp"
@@ -138,4 +140,27 @@ BENCHMARK(BM_EpochTrackedWrite);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled main (instead of BENCHMARK_MAIN): the exporter flags
+// --obs-out/--trace-out must be stripped before benchmark::Initialize,
+// which treats unrecognized arguments as fatal.
+int main(int argc, char** argv) {
+  bdhtm::bench::init("micro_substrates", argc, argv);
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--obs-out", 9) == 0 ||
+        std::strncmp(a, "--trace-out", 11) == 0) {
+      const bool has_value = std::strchr(a, '=') != nullptr;
+      if (!has_value && i + 1 < argc) ++i;  // skip the separate value
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bargc = static_cast<int>(args.size());
+  benchmark::Initialize(&bargc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return bdhtm::bench::finish();
+}

@@ -68,6 +68,9 @@ void study(const char* name, std::size_t cap, MakeTree&& make, Fill&& fill,
     auto structure = make(*w.es);
     const std::size_t n = recover(*structure, threads);
     const std::uint64_t t1 = now_ns();
+    bench::record_row(name, "recovery_ms", threads, (t1 - t0) / 1e6, "ms");
+    bench::record_row(name, "records", threads, static_cast<double>(n),
+                      "records");
     std::printf("%-14s threads=%-2d records=%-9zu recovery=%8.1f ms\n",
                 name, threads, n, (t1 - t0) / 1e6);
     std::fflush(stdout);
@@ -121,6 +124,12 @@ void corruption_sweep(std::uint64_t records, int ubits, std::size_t cap) {
     const auto& rep = w.es->last_recovery();
     if (frac == 0.0) clean_records = n;
     const std::uint64_t lost = clean_records > n ? clean_records - n : 0;
+    char label[24];
+    std::snprintf(label, sizeof label, "corrupt=%.1f%%", frac * 100.0);
+    bench::record_row("corruption sweep", label, 1, (t1 - t0) / 1e6, "ms");
+    bench::record_row("corruption sweep, quarantined", label, 1,
+                      static_cast<double>(rep.blocks_quarantined),
+                      "blocks");
     std::printf(
         "  corrupt=%5.1f%% lines_hit=%-7llu recovery=%8.1f ms "
         "recovered=%-9zu pairs_lost=%-7llu quarantined=%-6llu "
@@ -137,7 +146,8 @@ void corruption_sweep(std::uint64_t records, int ubits, std::size_t cap) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("sec52_recovery", argc, argv);
   const std::uint64_t records = env_int("BDHTM_RECOVERY_RECORDS", 400'000);
   const int ubits = 64 - __builtin_clzll(records * 2 - 1);
   const std::size_t cap =
@@ -182,6 +192,5 @@ int main() {
 
   corruption_sweep(records, ubits, cap);
 
-  bench::print_epoch_stats_summary();
-  return 0;
+  return bench::finish();
 }

@@ -35,7 +35,8 @@ workload::Config fill_cfg(int ubits) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("table3_tree_space", argc, argv);
   const int ubits = bench::universe_bits(20);
   bench::print_header(
       "Table 3: space consumption (MiB) after prefilling 50% of the "
@@ -43,10 +44,16 @@ int main() {
       "paper: 2^25 keys in a 2^26 universe; scaled default universe 2^20");
   std::printf("%-12s %12s %12s\n", "tree", "DRAM", "NVM");
 
+  const auto report = [](const char* tree, double dram_mib,
+                         double nvm_mib) {
+    bench::record_row(tree, "DRAM", 1, dram_mib, "MiB");
+    bench::record_row(tree, "NVM", 1, nvm_mib, "MiB");
+    std::printf("%-12s %12.1f %12.1f\n", tree, dram_mib, nvm_mib);
+  };
   {
     veb::HTMvEB t(ubits);
     workload::prefill(t, fill_cfg(ubits));
-    std::printf("%-12s %12.1f %12.1f\n", "HTM-vEB", mib(t.dram_bytes()), 0.0);
+    report("HTM-vEB", mib(t.dram_bytes()), 0.0);
   }
   {
     nvm::Device dev(bench::nvm_cfg(device_cap(ubits)));
@@ -56,33 +63,28 @@ int main() {
     workload::prefill(t, fill_cfg(ubits));
     es.persist_all();  // settle pending reclamation before measuring
     bench::note_epoch_stats(es.stats());
-    std::printf("%-12s %12.1f %12.1f\n", "PHTM-vEB", mib(t.dram_bytes()),
-                mib(t.nvm_bytes()));
+    report("PHTM-vEB", mib(t.dram_bytes()), mib(t.nvm_bytes()));
   }
   {
     nvm::Device dev(bench::nvm_cfg(device_cap(ubits)));
     alloc::PAllocator pa(dev);
     trees::LBTree t(dev, pa);
     workload::prefill(t, fill_cfg(ubits));
-    std::printf("%-12s %12.1f %12.1f\n", "LB+Tree", mib(t.dram_bytes()),
-                mib(t.nvm_bytes()));
+    report("LB+Tree", mib(t.dram_bytes()), mib(t.nvm_bytes()));
   }
   {
     nvm::Device dev(bench::nvm_cfg(device_cap(ubits)));
     alloc::PAllocator pa(dev);
     trees::ElimABTree t(dev, pa);
     workload::prefill(t, fill_cfg(ubits));
-    std::printf("%-12s %12.1f %12.1f\n", "Elim-Tree", 0.0,
-                mib(t.nvm_bytes()));
+    report("Elim-Tree", 0.0, mib(t.nvm_bytes()));
   }
   {
     nvm::Device dev(bench::nvm_cfg(device_cap(ubits)));
     alloc::PAllocator pa(dev);
     trees::OCCABTree t(dev, pa);
     workload::prefill(t, fill_cfg(ubits));
-    std::printf("%-12s %12.1f %12.1f\n", "OCC-Tree", 0.0,
-                mib(t.nvm_bytes()));
+    report("OCC-Tree", 0.0, mib(t.nvm_bytes()));
   }
-  bench::print_epoch_stats_summary();
-  return 0;
+  return bench::finish();
 }

@@ -244,6 +244,7 @@ void EpochSys::watchdog_check(ThreadState& ts) {
   // fleet of workers doesn't convoy on the transition mutex.
   if (now < ts.wd_next_attempt_ns) return;
   stats_.watchdog_trips.fetch_add(1, std::memory_order_relaxed);
+  obs::trace_instant(obs::TraceEventType::kWatchdogTrip, deadline, now - last);
   if (advance_mu_.try_lock()) {
     std::lock_guard lk(advance_mu_, std::adopt_lock);
     // Re-check under the lock: another worker may have just rescued.
@@ -252,6 +253,8 @@ void EpochSys::watchdog_check(ThreadState& ts) {
     if (now >= last && now - last >= deadline) {
       advance_locked(std::stop_token{});
       stats_.inline_advances.fetch_add(1, std::memory_order_relaxed);
+      obs::trace_instant(obs::TraceEventType::kInlineAdvance,
+                         global_epoch_.load(std::memory_order_relaxed));
     }
   }
   // try_lock failure means a transition (or another rescuer) is already
@@ -301,7 +304,8 @@ void EpochSys::advance_locked(const std::stop_token& st) {
                                    stolen_retired_[t].begin(),
                                    stolen_retired_[t].end());
   }
-  if (do_flush) flush_stolen_buffers(nthreads);
+  std::uint64_t flushed_ranges = 0;
+  if (do_flush) flushed_ranges = flush_stolen_buffers(nthreads);
   for (int t = 0; t < nthreads; ++t) {
     stolen_tracked_[t].clear();
     stolen_retired_[t].clear();
@@ -333,24 +337,17 @@ void EpochSys::advance_locked(const std::stop_token& st) {
   to_free.clear();
   stats_.epochs_advanced.fetch_add(1, std::memory_order_relaxed);
 
-  // Transition-latency accounting (EXPERIMENTS.md reports mean/min/max).
-  const std::uint64_t dur = now_ns() - t_begin;
-  stats_.advance_ns_total.fetch_add(dur, std::memory_order_relaxed);
-  std::uint64_t mn = stats_.advance_ns_min.load(std::memory_order_relaxed);
-  while (dur < mn && !stats_.advance_ns_min.compare_exchange_weak(
-                         mn, dur, std::memory_order_relaxed)) {
-  }
-  std::uint64_t mx = stats_.advance_ns_max.load(std::memory_order_relaxed);
-  while (dur > mx && !stats_.advance_ns_max.compare_exchange_weak(
-                         mx, dur, std::memory_order_relaxed)) {
-  }
+  // Transition-latency distribution (EXPERIMENTS.md reports quantiles).
+  stats_.advance_ns.record(now_ns() - t_begin);
+  obs::trace_complete(obs::TraceEventType::kEpochAdvance, t_begin, e + 1,
+                      flushed_ranges);
   // Feed the watchdog only on *completed* transitions (the early return
   // above skips this, so an advancer wedged in step 1 still counts as
   // stalled).
   last_transition_ns_.store(now_ns(), std::memory_order_relaxed);
 }
 
-void EpochSys::flush_stolen_buffers(int nthreads) {
+std::uint64_t EpochSys::flush_stolen_buffers(int nthreads) {
   // Convert every stolen range (and every retired block's header) to a
   // run of cache lines. Tracked ranges are flushed unconditionally: they
   // may have been written through the HTM engine's commit path, which
@@ -379,7 +376,7 @@ void EpochSys::flush_stolen_buffers(int nthreads) {
   }
   if (runs_.empty()) {
     dev.drain();
-    return;
+    return n_ranges;
   }
 
   // Coalesce to cache-line granularity: sort and merge duplicate,
@@ -415,15 +412,25 @@ void EpochSys::flush_stolen_buffers(int nthreads) {
   const int parties = std::min<std::size_t>(
       flushers_ ? flusher_threads_ : 1, runs_.size());
   if (parties <= 1) {
+    const std::uint64_t t_batch = now_ns();
     for (const LineRun& r : runs_) {
       dev.flush_line_run_to_media(r.first, r.count);
     }
+    obs::trace_complete(obs::TraceEventType::kFlusherBatch, t_batch, 0,
+                        runs_.size());
   } else {
     flushers_->run(parties, [&](int part) {
+      // Batch events land in each flusher thread's own ring — the trace
+      // shows the fan-out as parallel spans on distinct track rows.
+      const std::uint64_t t_batch = now_ns();
+      std::uint64_t handled = 0;
       for (std::size_t i = static_cast<std::size_t>(part); i < runs_.size();
            i += static_cast<std::size_t>(parties)) {
         dev.flush_line_run_to_media(runs_[i].first, runs_[i].count);
+        ++handled;
       }
+      obs::trace_complete(obs::TraceEventType::kFlusherBatch, t_batch,
+                          static_cast<std::uint64_t>(part), handled);
     });
   }
   dev.drain();
@@ -434,8 +441,10 @@ void EpochSys::flush_stolen_buffers(int nthreads) {
                                  std::memory_order_relaxed);
   stats_.lines_deduped.fetch_add(raw_lines - flush_lines,
                                  std::memory_order_relaxed);
-  stats_.flush_ns_total.fetch_add(now_ns() - t_flush,
-                                  std::memory_order_relaxed);
+  stats_.flush_ns.record(now_ns() - t_flush);
+  obs::trace_complete(obs::TraceEventType::kEpochFlush, t_flush, runs_.size(),
+                      flush_lines);
+  return n_ranges;
 }
 
 void EpochSys::persist_all() {

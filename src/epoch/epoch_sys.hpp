@@ -54,9 +54,12 @@
 
 #include "alloc/pallocator.hpp"
 #include "common/defs.hpp"
+#include "common/spin.hpp"
 #include "common/threading.hpp"
 #include "htm/engine.hpp"
 #include "nvm/device.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bdhtm::epoch {
 
@@ -80,14 +83,12 @@ struct EpochStats {
   /// Redundant line flushes eliminated by coalescing (duplicate or
   /// overlapping lines within one epoch's buffered writes).
   std::atomic<std::uint64_t> lines_deduped{0};
-  /// Wall time spent in the flush phase of step 2 (coalesce + fan-out +
-  /// barrier + drain), across all transitions.
-  std::atomic<std::uint64_t> flush_ns_total{0};
-  /// Per-transition advance() duration: total/min/max for latency
-  /// reporting (mean = total / epochs_advanced).
-  std::atomic<std::uint64_t> advance_ns_total{0};
-  std::atomic<std::uint64_t> advance_ns_min{~std::uint64_t{0}};
-  std::atomic<std::uint64_t> advance_ns_max{0};
+  /// Wall time of each flush phase of step 2 (coalesce + fan-out +
+  /// barrier + drain), log-bucketed: quantiles via flush_ns.snapshot().
+  obs::Histogram flush_ns;
+  /// Per-transition advance() duration distribution (p50/p95/p99/max via
+  /// advance_ns.snapshot(); mean = advance_ns.sum() / count).
+  obs::Histogram advance_ns;
   std::atomic<std::uint64_t> blocks_retired{0};
   std::atomic<std::uint64_t> blocks_reclaimed{0};
   /// Watchdog detections: a worker observed that no epoch transition
@@ -98,6 +99,15 @@ struct EpochStats {
   /// degraded mode in which durability keeps progressing without the
   /// advancer.
   std::atomic<std::uint64_t> inline_advances{0};
+
+  // Accessors matching the old atomic-field names, kept so latency
+  // totals read the same everywhere. advance_ns_min() is 0 until the
+  // first transition completes — the old CAS-loop code leaked its ~0
+  // sentinel into reports when nothing had advanced.
+  std::uint64_t advance_ns_total() const { return advance_ns.sum(); }
+  std::uint64_t advance_ns_min() const { return advance_ns.min(); }
+  std::uint64_t advance_ns_max() const { return advance_ns.max(); }
+  std::uint64_t flush_ns_total() const { return flush_ns.sum(); }
 
   /// Redundancy eliminated: raw buffered lines / lines actually flushed.
   double dedup_factor() const {
@@ -301,6 +311,7 @@ class EpochSys {
   template <typename Fn>
   RecoveryReport recover(Fn&& live_fn) {
     RecoveryReport rep{};
+    const std::uint64_t t_scan = now_ns();
     const std::uint64_t p = persisted_epoch();
     const std::uint64_t frontier = recovery_frontier(p);
     nvm::Device& dev = pa_.device();
@@ -373,6 +384,8 @@ class EpochSys {
     global_epoch_.store(p + 2, std::memory_order_release);
     persist_root();
     last_recovery_ = rep;
+    obs::trace_complete(obs::TraceEventType::kRecovery, t_scan,
+                        rep.blocks_scanned, rep.blocks_quarantined);
     return rep;
   }
 
@@ -432,7 +445,9 @@ class EpochSys {
   const PersistentRoot* root() const;
   void persist_root();
   ThreadState& tstate() { return tstate_[thread_id()].value; }
-  void flush_stolen_buffers(int nthreads);
+  /// Returns the number of tracked ranges handed to the pipeline (the
+  /// epoch-advance trace event reports it).
+  std::uint64_t flush_stolen_buffers(int nthreads);
   /// Transition body; caller holds advance_mu_.
   void advance_locked(const std::stop_token& st);
   std::uint64_t watchdog_deadline_ns() const;

@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "common/threading.hpp"
 #include "nvm/device.hpp"
+#include "obs/metrics.hpp"
 
 namespace bdhtm::htm {
 namespace {
@@ -34,10 +35,45 @@ constexpr bool is_locked(std::uint64_t v) { return (v & 1) != 0; }
 constexpr std::uint64_t version_of(std::uint64_t v) { return v >> 1; }
 constexpr std::uint64_t make_version(std::uint64_t ver) { return ver << 1; }
 
-struct alignas(kCacheLineSize) StatSlot {
-  TxStats s;
+// ---- Abort-cause taxonomy (obs registry) ----
+//
+// One per-thread-sharded counter per cause; recording is a relaxed
+// fetch_add on a line only the aborting thread writes, the same cost as
+// the padded TxStats array this replaces. Routing the taxonomy through
+// the registry is what lets the bench exporter and tests enumerate it by
+// name alongside every other subsystem's metrics.
+struct HtmCounters {
+  obs::Counter& commits;
+  obs::Counter& conflict;
+  obs::Counter& capacity;
+  obs::Counter& explicit_other;
+  obs::Counter& lock_subscription;
+  obs::Counter& old_see_new;
+  obs::Counter& persist;
+  obs::Counter& memtype;
+  obs::Counter& spurious;
+  obs::Counter& fallbacks;
+  obs::Counter& fallbacks_lockwait;
+  obs::Counter& fallbacks_exhausted;
 };
-StatSlot g_stats[kMaxThreads];
+
+HtmCounters& cnt() {
+  static HtmCounters c{
+      obs::Registry::global().counter("htm.commits"),
+      obs::Registry::global().counter("htm.abort.conflict"),
+      obs::Registry::global().counter("htm.abort.capacity"),
+      obs::Registry::global().counter("htm.abort.explicit"),
+      obs::Registry::global().counter("htm.abort.lock_subscription"),
+      obs::Registry::global().counter("htm.abort.old_see_new"),
+      obs::Registry::global().counter("htm.abort.persist"),
+      obs::Registry::global().counter("htm.abort.memtype"),
+      obs::Registry::global().counter("htm.abort.spurious"),
+      obs::Registry::global().counter("htm.fallback.total"),
+      obs::Registry::global().counter("htm.fallback.lock_wait"),
+      obs::Registry::global().counter("htm.fallback.retry_exhausted"),
+  };
+  return c;
+}
 
 }  // namespace
 
@@ -77,8 +113,6 @@ TxCtx& ctx() {
 }
 
 namespace {
-inline TxStats& my_stats(TxCtx& c) { return g_stats[c.tid].s; }
-
 [[noreturn]] void abort_with(TxCtx& c, unsigned status) {
   (void)c;
   throw AbortException{status};
@@ -94,13 +128,13 @@ unsigned tx_begin(TxCtx& c) {
     if (c.prewalk_credits > 0) {
       --c.prewalk_credits;  // pre-walked recently: anomaly suppressed
     } else if (c.rng.next_double() < g_cfg.memtype_abort_prob) {
-      my_stats(c).aborts_memtype++;
+      cnt().memtype.add_at(c.tid);
       return kAbortMemtype | kAbortRetry;
     }
   }
   if (g_cfg.spurious_abort_prob > 0.0 &&
       c.rng.next_double() < g_cfg.spurious_abort_prob) {
-    my_stats(c).aborts_spurious++;
+    cnt().spurious.add_at(c.tid);
     return kAbortSpurious | kAbortRetry;
   }
   c.active = true;
@@ -161,7 +195,7 @@ unsigned tx_commit(TxCtx& c) {
     // Read-only transactions were validated at each load (TL2 invariant:
     // all reads consistent at rv); nothing to publish.
     tx_cleanup(c);
-    my_stats(c).commits++;
+    cnt().commits.add_at(c.tid);
     return kCommitted;
   }
 
@@ -198,7 +232,7 @@ unsigned tx_commit(TxCtx& c) {
       if (++spins > 64) {
         release_all(true);
         tx_cleanup(c);
-        my_stats(c).aborts_conflict++;
+        cnt().conflict.add_at(c.tid);
         return kAbortConflict | kAbortRetry;
       }
       cur = s->load(std::memory_order_relaxed);
@@ -218,7 +252,7 @@ unsigned tx_commit(TxCtx& c) {
         version_of(cur) != version_of(r.version)) {
       release_all(true);
       tx_cleanup(c);
-      my_stats(c).aborts_conflict++;
+      cnt().conflict.add_at(c.tid);
       return kAbortConflict | kAbortRetry;
     }
   }
@@ -236,7 +270,7 @@ unsigned tx_commit(TxCtx& c) {
   }
   locked.clear();
   tx_cleanup(c);
-  my_stats(c).commits++;
+  cnt().commits.add_at(c.tid);
   return kCommitted;
 }
 
@@ -298,19 +332,30 @@ bool nontx_cas_word(std::uintptr_t word_addr, std::uint64_t expected,
 }
 
 void note_abort(TxCtx& c, unsigned status) {
-  TxStats& s = my_stats(c);
+  HtmCounters& m = cnt();
   if (status & kAbortPersist) {
-    s.aborts_persist++;
+    m.persist.add_at(c.tid);
   } else if (status & kAbortExplicit) {
-    s.aborts_explicit++;
+    // The taxonomy splits the two well-known convention codes out of the
+    // generic explicit bucket: contention (lock subscription) and
+    // epoch-ordering restarts (OldSeeNewException) mean different things
+    // to a tuner even though TSX reports both as _xabort.
+    const std::uint8_t code = explicit_code(status);
+    if (code == kLockSubscriptionCode) {
+      m.lock_subscription.add_at(c.tid);
+    } else if (code == kOldSeeNewCode) {
+      m.old_see_new.add_at(c.tid);
+    } else {
+      m.explicit_other.add_at(c.tid);
+    }
   } else if (status & kAbortCapacity) {
-    s.aborts_capacity++;
+    m.capacity.add_at(c.tid);
   } else if (status & kAbortConflict) {
-    s.aborts_conflict++;
+    m.conflict.add_at(c.tid);
   } else if (status & kAbortMemtype) {
-    s.aborts_memtype++;
+    m.memtype.add_at(c.tid);
   } else {
-    s.aborts_spurious++;
+    m.spurious.add_at(c.tid);
   }
 }
 
@@ -320,27 +365,42 @@ void configure(const EngineConfig& cfg) { g_cfg = cfg; }
 const EngineConfig& config() { return g_cfg; }
 
 TxStats collect_stats() {
+  HtmCounters& m = cnt();
   TxStats out;
-  for (const auto& slot : g_stats) {
-    out.commits += slot.s.commits;
-    out.aborts_conflict += slot.s.aborts_conflict;
-    out.aborts_capacity += slot.s.aborts_capacity;
-    out.aborts_explicit += slot.s.aborts_explicit;
-    out.aborts_persist += slot.s.aborts_persist;
-    out.aborts_memtype += slot.s.aborts_memtype;
-    out.aborts_spurious += slot.s.aborts_spurious;
-    out.fallback_acquisitions += slot.s.fallback_acquisitions;
-  }
+  out.commits = m.commits.total();
+  out.aborts_conflict = m.conflict.total();
+  out.aborts_capacity = m.capacity.total();
+  out.aborts_explicit = m.explicit_other.total();
+  out.aborts_lock_subscription = m.lock_subscription.total();
+  out.aborts_old_see_new = m.old_see_new.total();
+  out.aborts_persist = m.persist.total();
+  out.aborts_memtype = m.memtype.total();
+  out.aborts_spurious = m.spurious.total();
+  out.fallback_acquisitions = m.fallbacks.total();
+  out.fallbacks_lockwait = m.fallbacks_lockwait.total();
+  out.fallbacks_exhausted = m.fallbacks_exhausted.total();
   return out;
 }
 
 void reset_stats() {
-  for (auto& slot : g_stats) slot.s = TxStats{};
+  HtmCounters& m = cnt();
+  m.commits.reset();
+  m.conflict.reset();
+  m.capacity.reset();
+  m.explicit_other.reset();
+  m.lock_subscription.reset();
+  m.old_see_new.reset();
+  m.persist.reset();
+  m.memtype.reset();
+  m.spurious.reset();
+  m.fallbacks.reset();
+  m.fallbacks_lockwait.reset();
+  m.fallbacks_exhausted.reset();
 }
 
-void note_fallback() {
-  g_stats[thread_id()].s.fallback_acquisitions++;
-}
+void note_fallback() { cnt().fallbacks.add(); }
+void note_fallback_lockwait() { cnt().fallbacks_lockwait.add(); }
+void note_fallback_exhausted() { cnt().fallbacks_exhausted.add(); }
 
 bool in_txn() { return detail::ctx().active; }
 

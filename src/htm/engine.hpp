@@ -65,6 +65,17 @@ constexpr std::uint8_t explicit_code(unsigned status) {
   return static_cast<std::uint8_t>(status >> 24);
 }
 
+// Well-known explicit-abort codes, split out of the generic "explicit"
+// bucket by the abort-cause taxonomy (obs registry + TxStats): lock
+// subscription found the elided lock held (retry.hpp / epoch_sys.hpp
+// kLockedException), and an old-epoch operation saw a newer-epoch block
+// (epoch_sys.hpp kOldSeeNewException). Both are convention codes — the
+// engine treats them like any _xabort(imm8), the taxonomy just names
+// them because the paper's evaluation (Fig. 2) hinges on telling
+// contention from algorithmic restarts.
+inline constexpr std::uint8_t kLockSubscriptionCode = 0x52;
+inline constexpr std::uint8_t kOldSeeNewCode = 0x51;
+
 struct EngineConfig {
   // L1-like speculative capacity: 32 KiB of write lines, a larger
   // Bloom-summarized read capacity, per TSX on Skylake-era parts.
@@ -75,19 +86,35 @@ struct EngineConfig {
   std::uint64_t seed = 0xabcd;
 };
 
+/// Snapshot of the engine's abort-cause taxonomy. Storage is per-thread
+/// sharded counters in the global obs::Registry ("htm.*" names);
+/// collect_stats() sums the shards into this plain struct.
 struct TxStats {
   std::uint64_t commits = 0;
   std::uint64_t aborts_conflict = 0;
   std::uint64_t aborts_capacity = 0;
+  /// Explicit aborts with codes other than the two well-known ones below.
   std::uint64_t aborts_explicit = 0;
+  /// Lock-subscription aborts (kLockSubscriptionCode): the fallback lock
+  /// was held — contention, not a failed attempt.
+  std::uint64_t aborts_lock_subscription = 0;
+  /// OldSeeNewException (kOldSeeNewCode): epoch-ordering restart.
+  std::uint64_t aborts_old_see_new = 0;
   std::uint64_t aborts_persist = 0;
   std::uint64_t aborts_memtype = 0;
   std::uint64_t aborts_spurious = 0;
   std::uint64_t fallback_acquisitions = 0;
+  /// elide() fallbacks split by cause: the transaction kept finding the
+  /// lock held (contention) vs. it exhausted its retry budget on
+  /// conflict/capacity/spurious aborts. note_fallback() alone cannot
+  /// tell these apart — only the retry loop knows why it gave up.
+  std::uint64_t fallbacks_lockwait = 0;
+  std::uint64_t fallbacks_exhausted = 0;
 
   std::uint64_t total_aborts() const {
     return aborts_conflict + aborts_capacity + aborts_explicit +
-           aborts_persist + aborts_memtype + aborts_spurious;
+           aborts_lock_subscription + aborts_old_see_new + aborts_persist +
+           aborts_memtype + aborts_spurious;
   }
   std::uint64_t attempts() const { return commits + total_aborts(); }
 };
@@ -101,6 +128,10 @@ TxStats collect_stats();
 void reset_stats();
 /// Count a global-lock fallback acquisition (called by ElidedLock users).
 void note_fallback();
+/// Attribute the fallback elide() is about to take to its cause: the
+/// lock-wait bound was hit (contention) vs. the retry budget ran out.
+void note_fallback_lockwait();
+void note_fallback_exhausted();
 
 /// True while the calling thread executes inside run().
 bool in_txn();

@@ -21,6 +21,13 @@ inline constexpr std::uint8_t kLockedCode = 0x52;
 
 struct ElideOptions {
   int max_retries = 16;
+  /// Consecutive lock-subscription aborts tolerated before giving up and
+  /// taking the fallback lock ourselves. Lock-waits are free (they don't
+  /// charge max_retries — see below), so without a bound a thread stuck
+  /// behind a convoy of fallback holders would wait forever; with one, it
+  /// eventually joins the lock queue. Generous default: each wait already
+  /// blocks until the lock is observed free once.
+  int max_lock_waits = 64;
   /// Bounded exponential backoff between attempts after a conflict,
   /// capacity, or spurious abort: the delay doubles from min to max.
   /// Symmetric aborters re-colliding in lockstep is what turns transient
@@ -53,6 +60,8 @@ inline std::uint32_t retry_jitter(std::uint32_t bound) {
 template <typename R, typename Body>
 R elide(ElidedLock& lock, Body&& body, const ElideOptions& opts = {}) {
   std::uint32_t delay_ns = opts.backoff_min_ns;
+  int lock_waits = 0;
+  bool lockwait_fallback = false;
   for (int attempt = 0; attempt < opts.max_retries;) {
     R result{};
     const unsigned st = run([&](Txn& tx) {
@@ -66,9 +75,16 @@ R elide(ElidedLock& lock, Body&& body, const ElideOptions& opts = {}) {
       // a fallback held the lock, so charging these against max_retries
       // livelocks straight into the very serialization elision exists to
       // avoid — a convoy of waiters all exhausting their budgets at once.
+      // A separate (generous) bound keeps a thread from waiting forever
+      // behind a steady stream of fallback holders.
+      if (++lock_waits >= opts.max_lock_waits) {
+        lockwait_fallback = true;
+        break;
+      }
       lock.wait_until_free();
       continue;
     }
+    lock_waits = 0;
     if (st & kAbortExplicit) {
       // Algorithmic abort (e.g. OldSeeNewException): surface it like the
       // fallback path would, so callers handle one restart mechanism.
@@ -87,6 +103,13 @@ R elide(ElidedLock& lock, Body&& body, const ElideOptions& opts = {}) {
       spin_for_ns(delay_ns / 2 + detail::retry_jitter(delay_ns));
       delay_ns = std::min(delay_ns * 2, opts.backoff_max_ns);
     }
+  }
+  // Attribute the fallback to its cause before taking the lock — only
+  // this loop knows whether contention or the retry budget drove it.
+  if (lockwait_fallback) {
+    note_fallback_lockwait();
+  } else {
+    note_fallback_exhausted();
   }
   FallbackGuard guard(lock);
   NontxAccess acc;

@@ -10,6 +10,7 @@
 #include "common/spin.hpp"
 #include "common/threading.hpp"
 #include "htm/engine.hpp"
+#include "obs/trace.hpp"
 
 namespace bdhtm::nvm {
 namespace {
@@ -222,6 +223,7 @@ bool Device::line_is_durable(const void* addr) const {
 }
 
 void Device::simulate_crash() {
+  obs::trace_instant(obs::TraceEventType::kCrash);
   // Caller has quiesced workers: no concurrent access below.
   if (fault_tripped_.load(std::memory_order_acquire)) {
     // Power died at the plan's trigger instant and the media has been
@@ -293,6 +295,8 @@ void Device::fault_note(FaultEvent e) {
       !fault_tripped_.load(std::memory_order_relaxed) &&
       fault_plan_.event == e && n == fault_plan_.trigger_at) {
     fault_tripped_.store(true, std::memory_order_seq_cst);
+    obs::trace_instant(obs::TraceEventType::kFaultTrip,
+                       static_cast<std::uint64_t>(e), n);
   }
 }
 

@@ -1,0 +1,130 @@
+// Minimal streaming JSON writer (no external deps — the container bakes
+// in only the C++ toolchain). Handles the exporter's needs: nested
+// objects/arrays with automatic comma placement, string escaping, u64
+// without precision loss, finite doubles. Not a general serializer.
+#pragma once
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bdhtm::obs {
+
+class JsonWriter {
+ public:
+  void begin_object() {
+    comma();
+    out_ += '{';
+    first_.push_back(true);
+  }
+  void end_object() {
+    out_ += '}';
+    first_.pop_back();
+  }
+  void begin_array() {
+    comma();
+    out_ += '[';
+    first_.push_back(true);
+  }
+  void end_array() {
+    out_ += ']';
+    first_.pop_back();
+  }
+
+  void key(std::string_view k) {
+    comma();
+    quote(k);
+    out_ += ':';
+    pending_value_ = true;
+  }
+
+  void value(std::string_view v) {
+    comma();
+    quote(v);
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+  }
+  void value(std::uint64_t v) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    out_ += buf;
+  }
+  void value(int v) {
+    comma();
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%d", v);
+    out_ += buf;
+  }
+  void value(double v) {
+    comma();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out_ += buf;
+  }
+
+  std::string str() && { return std::move(out_); }
+  const std::string& str() const& { return out_; }
+
+ private:
+  void comma() {
+    if (pending_value_) {
+      // The value directly following key() is never comma-prefixed.
+      pending_value_ = false;
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) out_ += ',';
+      first_.back() = false;
+    }
+  }
+
+  void quote(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> first_;
+  bool pending_value_ = false;
+};
+
+}  // namespace bdhtm::obs

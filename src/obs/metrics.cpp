@@ -1,0 +1,65 @@
+#include "obs/metrics.hpp"
+
+#include <map>
+#include <mutex>
+
+namespace bdhtm::obs {
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // node-based maps: element addresses are stable across inserts, which
+  // is what lets callers cache Counter&/Histogram& references.
+  std::map<std::string, Counter, std::less<>> counters;
+  std::map<std::string, Histogram, std::less<>> histograms;
+};
+
+Registry::Registry() : impl_(std::make_unique<Impl>()) {}
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  // Leaked on purpose: engine counters are touched from thread_local
+  // destructors and static teardown; a leaked registry cannot be
+  // destroyed out from under them.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::scoped_lock lk(impl_->mu);
+  auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end()) {
+    it = impl_->counters.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::scoped_lock lk(impl_->mu);
+  auto it = impl_->histograms.find(name);
+  if (it == impl_->histograms.end()) {
+    it = impl_->histograms.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  std::scoped_lock lk(impl_->mu);
+  Snapshot s;
+  s.counters.reserve(impl_->counters.size());
+  for (const auto& [name, c] : impl_->counters) {
+    s.counters.emplace_back(name, c.total());
+  }
+  s.histograms.reserve(impl_->histograms.size());
+  for (const auto& [name, h] : impl_->histograms) {
+    s.histograms.emplace_back(name, h.snapshot());
+  }
+  return s;
+}
+
+void Registry::reset() {
+  std::scoped_lock lk(impl_->mu);
+  for (auto& [name, c] : impl_->counters) c.reset();
+  for (auto& [name, h] : impl_->histograms) h.reset();
+}
+
+}  // namespace bdhtm::obs

@@ -1,0 +1,192 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+
+#include "common/defs.hpp"
+#include "common/env.hpp"
+#include "common/spin.hpp"
+#include "common/threading.hpp"
+#include "obs/json.hpp"
+
+namespace bdhtm::obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_emitted{0};
+
+std::size_t round_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+std::size_t& capacity_slot() {
+  static std::size_t cap = round_pow2(static_cast<std::size_t>(
+      env_int("BDHTM_TRACE_EVENTS", 4096)));
+  return cap;
+}
+
+// One ring per dense thread id. Single writer (the owning thread);
+// readers run only after the writers quiesced (thread join provides the
+// happens-before), so the slots themselves are plain memory and only the
+// head index is atomic.
+struct Ring {
+  std::atomic<std::uint64_t> head{0};
+  std::size_t cap = 0;                // fixed at first emit
+  std::unique_ptr<TraceEvent[]> buf;  // lazily allocated, never freed
+};
+Padded<Ring> g_rings[kMaxThreads];
+
+void emit(TraceEventType t, std::uint64_t ts_ns, std::uint64_t dur_ns,
+          std::uint64_t a, std::uint64_t b) {
+  Ring& r = g_rings[thread_id()].value;
+  if (r.buf == nullptr) {
+    // One-time per-thread allocation, off any loop worth measuring.
+    r.cap = capacity_slot();
+    r.buf = std::make_unique<TraceEvent[]>(r.cap);
+  }
+  const std::uint64_t h = r.head.load(std::memory_order_relaxed);
+  r.buf[h & (r.cap - 1)] = TraceEvent{ts_ns, dur_ns, a, b, t};
+  r.head.store(h + 1, std::memory_order_release);
+  g_emitted.fetch_add(1, std::memory_order_relaxed);
+}
+
+struct TypeInfo {
+  const char* name;
+  const char* cat;
+  const char* arg_a;
+  const char* arg_b;
+  bool complete;  // ph "X" (ts+dur) vs instant "i"
+};
+constexpr TypeInfo kTypes[static_cast<int>(TraceEventType::kNumTypes)] = {
+    {"epoch.advance", "epoch", "epoch", "ranges", true},
+    {"epoch.flush", "epoch", "runs", "lines", true},
+    {"flusher.batch", "epoch", "part", "runs", true},
+    {"watchdog.trip", "epoch", "deadline_ns", "stall_ns", false},
+    {"inline.advance", "epoch", "epoch", "", false},
+    {"fault.trip", "nvm", "event_class", "count", false},
+    {"crash", "nvm", "", "", false},
+    {"recovery.scan", "epoch", "scanned", "quarantined", true},
+};
+
+}  // namespace
+
+bool tracing_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_tracing(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void set_trace_capacity(std::size_t events) {
+  capacity_slot() = round_pow2(events < 2 ? 2 : events);
+}
+std::size_t trace_capacity() { return capacity_slot(); }
+
+void trace_instant(TraceEventType t, std::uint64_t a, std::uint64_t b) {
+  if (!tracing_enabled()) return;
+  emit(t, now_ns(), 0, a, b);
+}
+
+void trace_complete(TraceEventType t, std::uint64_t start_ns, std::uint64_t a,
+                    std::uint64_t b) {
+  if (!tracing_enabled()) return;
+  const std::uint64_t now = now_ns();
+  emit(t, start_ns, now >= start_ns ? now - start_ns : 0, a, b);
+}
+
+std::uint64_t trace_events_emitted() {
+  return g_emitted.load(std::memory_order_relaxed);
+}
+
+std::uint64_t trace_events_captured() {
+  std::uint64_t n = 0;
+  for (int t = 0; t < kMaxThreads; ++t) {
+    const Ring& r = g_rings[t].value;
+    const std::uint64_t h = r.head.load(std::memory_order_acquire);
+    n += r.buf != nullptr ? std::min<std::uint64_t>(h, r.cap) : 0;
+  }
+  return n;
+}
+
+void reset_traces() {
+  for (int t = 0; t < kMaxThreads; ++t) {
+    g_rings[t].value.head.store(0, std::memory_order_relaxed);
+  }
+  g_emitted.store(0, std::memory_order_relaxed);
+}
+
+void for_each_trace_event(void (*fn)(void*, int, const TraceEvent&),
+                          void* ctx) {
+  for (int t = 0; t < kMaxThreads; ++t) {
+    const Ring& r = g_rings[t].value;
+    if (r.buf == nullptr) continue;
+    const std::uint64_t h = r.head.load(std::memory_order_acquire);
+    const std::uint64_t n = std::min<std::uint64_t>(h, r.cap);
+    for (std::uint64_t i = h - n; i < h; ++i) {
+      fn(ctx, t, r.buf[i & (r.cap - 1)]);
+    }
+  }
+}
+
+std::string chrome_trace_json() {
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ns");
+  w.key("traceEvents");
+  w.begin_array();
+  struct Ctx {
+    JsonWriter* w;
+  } c{&w};
+  for_each_trace_event(
+      [](void* ctxp, int tid, const TraceEvent& ev) {
+        JsonWriter& w = *static_cast<Ctx*>(ctxp)->w;
+        const TypeInfo& ti = kTypes[static_cast<int>(ev.type)];
+        w.begin_object();
+        w.key("name");
+        w.value(ti.name);
+        w.key("cat");
+        w.value(ti.cat);
+        w.key("ph");
+        w.value(ti.complete ? "X" : "i");
+        w.key("ts");
+        w.value(static_cast<double>(ev.ts_ns) / 1e3);  // microseconds
+        if (ti.complete) {
+          w.key("dur");
+          w.value(static_cast<double>(ev.dur_ns) / 1e3);
+        } else {
+          w.key("s");
+          w.value("t");
+        }
+        w.key("pid");
+        w.value(std::uint64_t{1});
+        w.key("tid");
+        w.value(static_cast<std::uint64_t>(tid));
+        w.key("args");
+        w.begin_object();
+        if (ti.arg_a[0] != '\0') {
+          w.key(ti.arg_a);
+          w.value(ev.a);
+        }
+        if (ti.arg_b[0] != '\0') {
+          w.key(ti.arg_b);
+          w.value(ev.b);
+        }
+        w.end_object();
+        w.end_object();
+      },
+      &c);
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace bdhtm::obs
