@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/checked.hpp"
 #include "htm/engine.hpp"
 
 namespace bdhtm::alloc {
@@ -123,9 +124,12 @@ void* PAllocator::init_block(std::uint64_t payload_off, std::size_t cls,
 }
 
 void* PAllocator::alloc(std::size_t user_size) {
-  assert(!htm::in_txn() &&
-         "NVM allocation inside a transaction aborts on real HTM; "
-         "preallocate outside (paper Listing 1)");
+  if (htm::in_txn()) {
+    checked::violation(checked::Rule::kAllocInTx, "alloc::PAllocator::alloc");
+    assert(checked::enabled() &&
+           "NVM allocation inside a transaction aborts on real HTM; "
+           "preallocate outside (paper Listing 1)");
+  }
   const std::size_t cls = class_for(user_size);
   if (cls >= kNumClasses) return alloc_large(user_size);
 

@@ -1,0 +1,115 @@
+#include "common/checked.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/json.hpp"
+
+namespace bdhtm::checked {
+namespace {
+
+constexpr int kNum = static_cast<int>(Rule::kNumRules);
+
+std::atomic<std::uint64_t> g_counts[kNum];
+
+void default_handler(Rule rule, const char* site) {
+  std::fprintf(stderr,
+               "bdhtm: checked-build protocol violation: %s at %s "
+               "(see DESIGN.md §9; txlint reports the same rule "
+               "statically)\n",
+               rule_name(rule), site);
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<Handler> g_handler{&default_handler};
+
+void report_at_exit() {
+  const char* path = std::getenv("BDHTM_CHECKED_REPORT");
+  if (path != nullptr) (void)write_report(path);
+}
+
+// Registers the exit-time report writer once per process. The counters
+// exist (at zero) even in unchecked builds, so the report is always
+// well-formed and records whether checking was armed.
+[[maybe_unused]] const bool g_report_registered = [] {
+  if (std::getenv("BDHTM_CHECKED_REPORT") != nullptr) {
+    std::atexit(&report_at_exit);
+  }
+  return true;
+}();
+
+}  // namespace
+
+const char* rule_name(Rule r) {
+  switch (r) {
+    case Rule::kPersistInTx:
+      return "persist-in-tx";
+    case Rule::kAllocInTx:
+      return "alloc-in-tx";
+    case Rule::kRetireBeforeCommit:
+      return "retire-before-commit";
+    case Rule::kIrrevocableInTx:
+      return "irrevocable-in-tx";
+    case Rule::kUnbalancedEpochOp:
+      return "unbalanced-epoch-op";
+    case Rule::kNumRules:
+      break;
+  }
+  return "unknown";
+}
+
+Handler set_handler(Handler h) {
+  return g_handler.exchange(h != nullptr ? h : &default_handler,
+                            std::memory_order_acq_rel);
+}
+
+std::uint64_t violations(Rule r) {
+  return g_counts[static_cast<int>(r)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t total_violations() {
+  std::uint64_t n = 0;
+  for (const auto& c : g_counts) n += c.load(std::memory_order_relaxed);
+  return n;
+}
+
+void reset_violation_counts() {
+  for (auto& c : g_counts) c.store(0, std::memory_order_relaxed);
+}
+
+#ifdef BDHTM_CHECKED
+void violation(Rule rule, const char* site) {
+  g_counts[static_cast<int>(rule)].fetch_add(1, std::memory_order_relaxed);
+  g_handler.load(std::memory_order_acquire)(rule, site);
+}
+#endif
+
+bool write_report(const char* path) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value("bdhtm-checked/1");
+  w.key("checked_build");
+  w.value(enabled());
+  w.key("total_violations");
+  w.value(total_violations());
+  w.key("by_rule");
+  w.begin_object();
+  for (int i = 0; i < kNum; ++i) {
+    w.key(rule_name(static_cast<Rule>(i)));
+    w.value(g_counts[i].load(std::memory_order_relaxed));
+  }
+  w.end_object();
+  w.end_object();
+
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) return false;
+  const std::string& s = w.str();
+  const bool ok = std::fwrite(s.data(), 1, s.size(), f) == s.size() &&
+                  std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace bdhtm::checked

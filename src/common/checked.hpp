@@ -1,0 +1,90 @@
+// Checked-build protocol enforcement (DESIGN.md §9).
+//
+// The paper's transaction-safety contract — no persist, allocation,
+// retire/track, or irrevocable operation inside a hardware transaction,
+// and balanced beginOp/endOp epoch protocol — is enforced twice:
+// statically by tools/txlint (lexical scan of transaction bodies) and
+// dynamically here. A -DBDHTM_CHECKED=ON build arms thread-local
+// transaction-phase checks in htm/engine, epoch/epoch_sys, and
+// nvm/device; when a rule fires, violation() reports the rule name (the
+// same identifier txlint prints) and the call site, then aborts the
+// process. Tests install a capturing handler to assert that a deliberate
+// misuse traps under the expected rule without dying.
+//
+// In a normal build every check compiles away: enabled() is a constexpr
+// false, so `if (checked::enabled() && ...)` guards are dead code.
+#pragma once
+
+#include <cstdint>
+
+namespace bdhtm::checked {
+
+/// The five protocol rules, named identically to txlint's diagnostics so
+/// a static finding and its runtime trap are trivially cross-referenced.
+enum class Rule : int {
+  kPersistInTx = 0,     // "persist-in-tx"
+  kAllocInTx,           // "alloc-in-tx"
+  kRetireBeforeCommit,  // "retire-before-commit"
+  kIrrevocableInTx,     // "irrevocable-in-tx"
+  kUnbalancedEpochOp,   // "unbalanced-epoch-op"
+  kNumRules,
+};
+
+/// txlint-compatible rule identifier, e.g. "persist-in-tx".
+const char* rule_name(Rule r);
+
+/// True in a -DBDHTM_CHECKED=ON build. constexpr so unchecked builds
+/// dead-code-eliminate every guard.
+constexpr bool enabled() {
+#ifdef BDHTM_CHECKED
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Invoked when a runtime check fires. The default handler prints the
+/// rule name and site to stderr and aborts; a test handler may record
+/// the violation and return, in which case the instrumented operation
+/// proceeds with its normal (simulation-safe) behaviour.
+using Handler = void (*)(Rule rule, const char* site);
+
+/// Install a violation handler; returns the previous one. Passing
+/// nullptr restores the default abort handler. Not thread safe — install
+/// while quiesced (tests are single-threaded around misuse probes).
+Handler set_handler(Handler h);
+
+/// Violations recorded since process start (per rule / total). Counted
+/// before the handler runs, so even the aborting default handler leaves
+/// a trace for crash triage.
+std::uint64_t violations(Rule r);
+std::uint64_t total_violations();
+void reset_violation_counts();
+
+/// Report a protocol violation. No-op (and not emitted at all behind the
+/// enabled() guards) in unchecked builds.
+#ifdef BDHTM_CHECKED
+void violation(Rule rule, const char* site);
+#else
+inline void violation(Rule, const char*) {}
+#endif
+
+/// Write the violation counters as JSON (schema bdhtm-checked/1) to
+/// `path`. Returns false on I/O failure. Also registered automatically at
+/// process exit when the BDHTM_CHECKED_REPORT environment variable names
+/// a path — the CI `checked` lane uploads that file as an artifact.
+bool write_report(const char* path);
+
+/// RAII handler swap for tests that provoke violations on purpose.
+class ScopedHandler {
+ public:
+  explicit ScopedHandler(Handler h) : prev_(set_handler(h)) {}
+  ~ScopedHandler() { set_handler(prev_); }
+  ScopedHandler(const ScopedHandler&) = delete;
+  ScopedHandler& operator=(const ScopedHandler&) = delete;
+
+ private:
+  Handler prev_;
+};
+
+}  // namespace bdhtm::checked

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <stdexcept>
 
+#include "common/checked.hpp"
 #include "common/spin.hpp"
 
 namespace bdhtm::epoch {
@@ -124,7 +125,18 @@ std::uint64_t EpochSys::persisted_epoch() const {
 
 std::uint64_t EpochSys::beginOp() {
   ThreadState& ts = tstate();
-  assert(ts.op_epoch == kInvalidEpoch && "beginOp without matching endOp");
+  // Epoch registration announces through seq_cst atomics — an
+  // irrevocable side effect a hardware transaction cannot roll back;
+  // Listing 1 places beginOp strictly before the transaction.
+  if (checked::enabled() && htm::in_txn()) {
+    checked::violation(checked::Rule::kIrrevocableInTx,
+                       "epoch::EpochSys::beginOp");
+  }
+  if (ts.op_epoch != kInvalidEpoch) {
+    checked::violation(checked::Rule::kUnbalancedEpochOp,
+                       "epoch::EpochSys::beginOp (operation already open)");
+    assert(checked::enabled() && "beginOp without matching endOp");
+  }
   // Watchdog: every 32nd op (before announcing, so an inline rescue
   // never waits on this thread's own announcement) check whether the
   // background advancer has missed its deadline.
@@ -145,7 +157,15 @@ std::uint64_t EpochSys::beginOp() {
 
 void EpochSys::endOp() {
   ThreadState& ts = tstate();
-  assert(ts.op_epoch != kInvalidEpoch && "endOp without beginOp");
+  if (checked::enabled() && htm::in_txn()) {
+    checked::violation(checked::Rule::kIrrevocableInTx,
+                       "epoch::EpochSys::endOp");
+  }
+  if (ts.op_epoch == kInvalidEpoch) {
+    checked::violation(checked::Rule::kUnbalancedEpochOp,
+                       "epoch::EpochSys::endOp (no operation open)");
+    assert(checked::enabled() && "endOp without beginOp");
+  }
   const std::size_t slot_idx = ts.op_epoch % 4;
   auto& tracked = ts.epoch_tracked[slot_idx];
   tracked.insert(tracked.end(), ts.op_tracked.begin(), ts.op_tracked.end());
@@ -161,7 +181,15 @@ void EpochSys::endOp() {
 
 void EpochSys::abortOp() {
   ThreadState& ts = tstate();
-  assert(ts.op_epoch != kInvalidEpoch && "abortOp without beginOp");
+  if (checked::enabled() && htm::in_txn()) {
+    checked::violation(checked::Rule::kIrrevocableInTx,
+                       "epoch::EpochSys::abortOp");
+  }
+  if (ts.op_epoch == kInvalidEpoch) {
+    checked::violation(checked::Rule::kUnbalancedEpochOp,
+                       "epoch::EpochSys::abortOp (no operation open)");
+    assert(checked::enabled() && "abortOp without beginOp");
+  }
   // Undo retire marks applied by the aborted operation.
   nvm::Device& dev = pa_.device();
   for (void* p : ts.op_retired) {
@@ -176,19 +204,36 @@ void EpochSys::abortOp() {
   announce_[thread_id()].value.store(kIdle, std::memory_order_seq_cst);
 }
 
-void* EpochSys::pNew(std::size_t size) { return pa_.alloc(size); }
+void* EpochSys::pNew(std::size_t size) {
+  // Table 2: pNew preallocates OUTSIDE the transaction (invalid epoch
+  // stamp); allocator metadata updates inside a txn would be rolled back
+  // on abort while the block leaked, and on real hardware the allocator
+  // itself can abort the transaction.
+  if (checked::enabled() && htm::in_txn()) {
+    checked::violation(checked::Rule::kAllocInTx, "epoch::EpochSys::pNew");
+  }
+  return pa_.alloc(size);
+}
 
 void EpochSys::pSet(void* payload, const void* data, std::size_t len,
                     std::size_t offset) {
-  assert(!htm::in_txn() &&
-         "use Txn::store_nvm inside transactions, pTrack after commit");
+  if (htm::in_txn()) {
+    checked::violation(checked::Rule::kPersistInTx, "epoch::EpochSys::pSet");
+    assert(checked::enabled() &&
+           "use Txn::store_nvm inside transactions, pTrack after commit");
+  }
   auto* dst = static_cast<std::byte*>(payload) + offset;
   pa_.device().write_bytes(dst, data, len);
   tstate().op_tracked.push_back({dst, static_cast<std::uint32_t>(len)});
 }
 
 void EpochSys::pRetire(void* payload) {
-  assert(!htm::in_txn() && "pRetire persists state; call it after commit");
+  if (htm::in_txn()) {
+    checked::violation(checked::Rule::kRetireBeforeCommit,
+                       "epoch::EpochSys::pRetire");
+    assert(checked::enabled() &&
+           "pRetire persists state; call it after commit");
+  }
   ThreadState& ts = tstate();
   assert(ts.op_epoch != kInvalidEpoch && "pRetire outside an operation");
   auto* hdr = alloc::PAllocator::header_of(payload);
@@ -199,10 +244,22 @@ void EpochSys::pRetire(void* payload) {
   stats_.blocks_retired.fetch_add(1, std::memory_order_relaxed);
 }
 
-void EpochSys::pDelete(void* payload) { pa_.free(payload); }
+void EpochSys::pDelete(void* payload) {
+  // Immediate reclamation inside a transaction is a use-after-free in
+  // waiting: the commit may still fail, but the block is already gone.
+  if (checked::enabled() && htm::in_txn()) {
+    checked::violation(checked::Rule::kRetireBeforeCommit,
+                       "epoch::EpochSys::pDelete");
+  }
+  pa_.free(payload);
+}
 
 void EpochSys::pTrack(void* payload) {
-  assert(!htm::in_txn() && "pTrack after commit, not inside the txn");
+  if (htm::in_txn()) {
+    checked::violation(checked::Rule::kRetireBeforeCommit,
+                       "epoch::EpochSys::pTrack");
+    assert(checked::enabled() && "pTrack after commit, not inside the txn");
+  }
   ThreadState& ts = tstate();
   assert(ts.op_epoch != kInvalidEpoch && "pTrack outside an operation");
   auto* hdr = alloc::PAllocator::header_of(payload);

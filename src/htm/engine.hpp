@@ -38,6 +38,7 @@
 #include <cstring>
 #include <type_traits>
 
+#include "common/checked.hpp"
 #include "common/spin.hpp"
 
 namespace bdhtm::nvm {
@@ -315,6 +316,14 @@ class ElidedLock {
   }
 
   void acquire() {
+    // Taking the fallback lock inside a transaction is the classic
+    // lock-elision deadlock: the acquisition conflicts with every
+    // subscribed transaction — including this one. Transactions
+    // subscribe(); only the non-transactional fallback path acquires.
+    if (checked::enabled() && in_txn()) {
+      checked::violation(checked::Rule::kIrrevocableInTx,
+                         "htm::ElidedLock::acquire");
+    }
     const auto a = reinterpret_cast<std::uintptr_t>(&word_);
     for (;;) {
       if (detail::nontx_cas_word(a, 0, 1)) {

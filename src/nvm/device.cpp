@@ -6,6 +6,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "common/checked.hpp"
 #include "common/rng.hpp"
 #include "common/spin.hpp"
 #include "common/threading.hpp"
@@ -69,6 +70,10 @@ void Device::mark_dirty(const void* addr, std::size_t len) {
 
 void Device::clwb(const void* addr) {
   if (!cfg_.eadr && htm::in_txn()) {
+    // The checked build names the protocol rule before the simulated
+    // hardware consequence below fires (a capturing test handler sees
+    // the diagnostic, then the TSX abort still happens).
+    checked::violation(checked::Rule::kPersistInTx, "nvm::Device::clwb");
     // TSX: CLWB/CLFLUSH(OPT) inside a transaction aborts it. This single
     // check is the incompatibility the whole paper is about.
     htm::abort_current(htm::kAbortPersist);
@@ -77,6 +82,13 @@ void Device::clwb(const void* addr) {
 }
 
 void Device::clwb_nontxn(const void* addr) {
+  // clwb_nontxn is contractually background-thread-only; issued inside a
+  // transaction it would persist speculative state without aborting —
+  // worse than clwb's honest abort. (Transaction-neutral on eADR.)
+  if (checked::enabled() && !cfg_.eadr && htm::in_txn()) {
+    checked::violation(checked::Rule::kPersistInTx,
+                       "nvm::Device::clwb_nontxn");
+  }
   stats_.clwbs.fetch_add(1, std::memory_order_relaxed);
   fault_note(FaultEvent::kClwb);
   if (cfg_.eadr) return;  // persistent cache: already durable
@@ -111,6 +123,9 @@ void Device::flush_line_to_media(std::size_t line) {
 }
 
 void Device::drain() {
+  if (checked::enabled() && !cfg_.eadr && htm::in_txn()) {
+    checked::violation(checked::Rule::kPersistInTx, "nvm::Device::drain");
+  }
   stats_.fences.fetch_add(1, std::memory_order_relaxed);
   fault_note(FaultEvent::kFence);
   if (cfg_.eadr) return;
@@ -166,6 +181,10 @@ void Device::persist_nontxn(const void* addr, std::size_t len) {
 void Device::flush_range_to_media(const void* addr, std::size_t len) {
   assert(len > 0);
   if (cfg_.eadr) return;
+  if (checked::enabled() && htm::in_txn()) {
+    checked::violation(checked::Rule::kPersistInTx,
+                       "nvm::Device::flush_range_to_media");
+  }
   const std::size_t first = line_of(offset_of(addr));
   const std::size_t last = line_of(offset_of(addr) + len - 1);
   constexpr std::size_t kLinesPerXP = kXPLineSize / kCacheLineSize;
@@ -192,6 +211,10 @@ void Device::flush_range_to_media(const void* addr, std::size_t len) {
 void Device::flush_line_run_to_media(std::size_t first_line, std::size_t n) {
   assert(n > 0 && first_line + n <= n_lines_);
   if (cfg_.eadr) return;
+  if (checked::enabled() && htm::in_txn()) {
+    checked::violation(checked::Rule::kPersistInTx,
+                       "nvm::Device::flush_line_run_to_media");
+  }
   constexpr std::size_t kLinesPerXP = kXPLineSize / kCacheLineSize;
   std::size_t last_xp = ~std::size_t{0};
   for (std::size_t l = first_line; l < first_line + n; ++l) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <thread>
 
 #include "nvm/roots.hpp"
@@ -20,19 +21,30 @@ PMwCAS::PMwCAS(nvm::Device& dev, alloc::PAllocator& pa, Mode mode,
                std::size_t pool_capacity)
     : dev_(dev), capacity_(pool_capacity) {
   if (mode == Mode::kFormat) {
-    void* dblock = pa.alloc(capacity_ * sizeof(Descriptor));
+    // Allocator payloads sit one BlockHeader past a stride boundary, so
+    // they don't satisfy the pools' cache-line alignment. Over-allocate
+    // and round up; the roots record the *aligned* offsets, so recovery
+    // lands on the same addresses.
+    auto aligned = [&pa](std::size_t align, std::size_t bytes) {
+      void* p = pa.alloc(bytes + align - 1);
+      std::size_t space = bytes + align - 1;
+      void* q = std::align(align, bytes, p, space);
+      assert(q != nullptr);
+      return q;
+    };
+    void* dblock = aligned(alignof(Descriptor), capacity_ * sizeof(Descriptor));
     pool_ = new (dblock) Descriptor[capacity_];
-    void* rblock = pa.alloc(kMaxThreads * sizeof(PRdcss));
+    void* rblock = aligned(alignof(PRdcss), kMaxThreads * sizeof(PRdcss));
     rpool_ = new (rblock) PRdcss[kMaxThreads];
     dev_.mark_dirty(pool_, capacity_ * sizeof(Descriptor));
     dev_.mark_dirty(rpool_, kMaxThreads * sizeof(PRdcss));
     nvm::publish_root(
         dev_, nvm::kRootPMwCASPool,
-        static_cast<std::uint64_t>(reinterpret_cast<std::byte*>(dblock) -
+        static_cast<std::uint64_t>(reinterpret_cast<std::byte*>(pool_) -
                                    dev_.base()));
     nvm::publish_root(
         dev_, kRootPRdcssPool,
-        static_cast<std::uint64_t>(reinterpret_cast<std::byte*>(rblock) -
+        static_cast<std::uint64_t>(reinterpret_cast<std::byte*>(rpool_) -
                                    dev_.base()));
     dev_.persist_nontxn(pool_, capacity_ * sizeof(Descriptor));
     dev_.persist_nontxn(rpool_, kMaxThreads * sizeof(PRdcss));

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/checked.hpp"
 #include "common/threading.hpp"
 #include "htm/engine.hpp"
 
@@ -171,10 +172,14 @@ TEST_F(HtmTest, ElidedLockSubscriptionAbortsWhenHeld) {
 
 TEST_F(HtmTest, FallbackAcquisitionAbortsSubscribedTxn) {
   // Subscribe first, then the lock is acquired before commit -> conflict.
+  // Acquiring in-transaction is a deliberate violation (the checked build
+  // reports irrevocable-in-tx); capture the report instead of aborting.
+  checked::ScopedHandler guard(+[](checked::Rule, const char*) {});
   htm::ElidedLock lock;
   alignas(8) std::uint64_t x = 0;
   const unsigned st = htm::run([&](htm::Txn& tx) {
     lock.subscribe(tx, 0x52);
+    // txlint: allow(irrevocable-in-tx) -- simulates a concurrent fallback
     lock.acquire();  // simulates another thread taking the fallback path
     tx.store(&x, std::uint64_t{1});
   });

@@ -5,6 +5,7 @@
 
 #include <cstring>
 
+#include "common/checked.hpp"
 #include "common/defs.hpp"
 #include "htm/engine.hpp"
 #include "nvm/device.hpp"
@@ -135,10 +136,15 @@ TEST(NvmDevice, EadrMakesEveryStoreDurable) {
 }
 
 TEST(NvmDevice, ClwbInsideTransactionAborts) {
+  // Deliberate protocol violation: this test asserts the defensive abort.
+  // The checked build reports it (persist-in-tx) before aborting the txn;
+  // swallow the report so the default handler doesn't kill the process.
+  checked::ScopedHandler guard(+[](checked::Rule, const char*) {});
   nvm::Device dev(small_cfg());
   auto* x = reinterpret_cast<std::uint64_t*>(dev.base());
   const unsigned status = htm::run([&](htm::Txn& tx) {
     tx.store_nvm(dev, x, std::uint64_t{5});
+    // txlint: allow(persist-in-tx) -- intentional: asserts kAbortPersist
     dev.clwb(x);  // the HTM/NVM incompatibility
   });
   EXPECT_NE(status, htm::kCommitted);
@@ -153,6 +159,7 @@ TEST(NvmDevice, ClwbInsideTransactionIsFineOnEadr) {
   auto* x = reinterpret_cast<std::uint64_t*>(dev.base());
   const unsigned status = htm::run([&](htm::Txn& tx) {
     tx.store_nvm(dev, x, std::uint64_t{5});
+    // txlint: allow(persist-in-tx) -- eADR: clwb is transaction-neutral
     dev.clwb(x);  // no-op under persistent cache: no abort
   });
   EXPECT_EQ(status, htm::kCommitted);

@@ -1,0 +1,13 @@
+// Known-bad: malloc in an elided critical section. Beyond the leak on
+// abort, the allocator may take a lock or a syscall (sbrk/mmap), both of
+// which abort the hardware transaction every time — a livelock on the
+// fallback path.
+// txlint-expect: alloc-in-tx
+
+int reserve(htm::ElidedLock& lock, Pool& pool, std::size_t bytes) {
+  return htm::elide<int>(lock, [&](auto& acc) {
+    void* raw = std::malloc(bytes);  // BUG: hoist out of the transaction
+    acc.store(&pool.scratch, raw);
+    return 0;
+  });
+}

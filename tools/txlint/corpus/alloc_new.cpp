@@ -1,0 +1,12 @@
+// Known-bad: operator new inside the transaction body. Allocator metadata
+// writes are not transactional — an abort rolls back the link but not the
+// allocation, leaking the node (Table 2: preallocate before tx_begin).
+// txlint-expect: alloc-in-tx
+
+void insert(htm::ElidedLock& lock, List& l, int v) {
+  htm::run([&](htm::Txn& tx) {
+    lock.subscribe(tx);
+    Node* n = new Node(v);  // BUG: allocate before tx_begin, link inside
+    tx.store(&l.head, n);
+  });
+}

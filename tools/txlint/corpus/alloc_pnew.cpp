@@ -1,0 +1,11 @@
+// Known-bad: pNew inside an Acc-templated body. Persistent allocation
+// writes allocator metadata with non-speculative persists; the paper's
+// recipe is pNew before the transaction, link inside, pTrack/pDelete
+// after (Table 2).
+// txlint-expect: alloc-in-tx
+
+template <typename Acc>
+void grow(Acc& acc, epoch::EpochSys& es, Dir* d, std::uint64_t op_epoch) {
+  Bucket* b = es.pNew<Bucket>(op_epoch);  // BUG: preallocate outside
+  acc.store(&d->slot, b);
+}

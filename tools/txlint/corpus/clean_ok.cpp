@@ -1,0 +1,21 @@
+// The correct Table-2 shape: preallocate, reserve the epoch, transact,
+// then run the post-commit epilogue (pTrack/endOp) or the abort path
+// (pDelete/abortOp) strictly outside the transaction. Must lint clean.
+// txlint-expect: none
+
+bool insert(htm::ElidedLock& lock, epoch::EpochSys& es, Map& m, Key k) {
+  Node* nb = es.pNew<Node>(es.snapshotEpoch());
+  const auto e = es.beginOp();
+  bool ok = htm::run([&](htm::Txn& tx) {
+    lock.subscribe(tx);
+    return m.link(tx, k, nb, e);
+  });
+  if (!ok) {
+    es.pDelete(nb, e);
+    es.abortOp();
+    return false;
+  }
+  es.pTrack(nb, e);
+  es.endOp();
+  return true;
+}

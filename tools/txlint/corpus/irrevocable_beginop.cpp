@@ -1,0 +1,13 @@
+// Known-bad: beginOp inside the transaction. The epoch table lives in
+// shared memory the advancer scans concurrently; mutating it from inside
+// a speculative region either aborts (conflict with the advancer) or
+// publishes a reservation that vanishes on abort.
+// txlint-expect: irrevocable-in-tx
+
+void op(htm::ElidedLock& lock, epoch::EpochSys& es, Map& m, Key k) {
+  htm::run([&](htm::Txn& tx) {
+    lock.subscribe(tx);
+    const auto e = es.beginOp();  // BUG: reserve the epoch before tx_begin
+    m.put(tx, k, e);
+  });
+}

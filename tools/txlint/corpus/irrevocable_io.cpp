@@ -1,0 +1,14 @@
+// Known-bad: I/O inside the transaction body. The write syscall aborts
+// any hardware transaction, and even under emulation the output happens
+// speculatively — an aborted transaction has already printed.
+// txlint-expect: irrevocable-in-tx
+// txlint-expect: irrevocable-in-tx
+
+void debug_insert(htm::ElidedLock& lock, Map& m, Key k) {
+  htm::run([&](htm::Txn& tx) {
+    lock.subscribe(tx);
+    std::printf("inserting %llu\n", k);  // BUG: I/O is irrevocable
+    m.put(tx, k);
+    std::cout << "done\n";  // BUG: stream I/O too
+  });
+}

@@ -1,0 +1,13 @@
+// Known-bad: flushing a cache line inside an active transaction. Under
+// TSX a clwb aborts the transaction; under buffered durability it could
+// also leak uncommitted state to media. All persists belong to the epoch
+// advancer, after commit (paper §4).
+// txlint-expect: persist-in-tx
+
+void update(nvm::Device& dev, htm::ElidedLock& lock, std::uint64_t* p) {
+  htm::run([&](htm::Txn& tx) {
+    lock.subscribe(tx);
+    tx.store(p, 42u);
+    dev.clwb(p);  // BUG: persist inside the transaction body
+  });
+}

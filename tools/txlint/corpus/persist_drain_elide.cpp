@@ -1,0 +1,14 @@
+// Known-bad: draining the store buffer inside an elided critical section.
+// The fence is transactional suicide on real HTM and meaningless before
+// commit under buffered durability.
+// txlint-expect: persist-in-tx
+
+bool remove(htm::ElidedLock& lock, nvm::Device& dev, Table& t, Key k) {
+  return htm::elide<bool>(lock, [&](auto& acc) {
+    auto* e = t.find(acc, k);
+    if (!e) return false;
+    acc.store(&e->dead, std::uint64_t{1});
+    dev.drain();  // BUG: ordering persists belongs after commit
+    return true;
+  });
+}

@@ -1,0 +1,11 @@
+// Known-bad: pSet inside an Acc-templated body. pSet writes and persists
+// immediately (Table 2) — inside a transaction the write is speculative
+// but the persist is not, so an abort leaves torn durable state. Use
+// acc.store inside the transaction and pTrack after commit.
+// txlint-expect: persist-in-tx
+
+template <typename Acc>
+void publish(Acc& acc, epoch::EpochSys& es, Node* n, const Payload& tmp) {
+  acc.store(&n->seq, n->seq + 1);
+  es.pSet(&n->payload, &tmp, sizeof tmp);  // BUG: pSet persists immediately
+}

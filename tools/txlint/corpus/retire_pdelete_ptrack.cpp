@@ -1,0 +1,14 @@
+// Known-bad: pTrack and pDelete inside the transaction body. pTrack makes
+// the new block reachable-durable and belongs after commit; pDelete is
+// the abort-path undo for a preallocated block and likewise runs outside.
+// txlint-expect: retire-before-commit
+// txlint-expect: retire-before-commit
+
+template <typename Acc>
+void swap_block(Acc& acc, epoch::EpochSys& es, Slot* s, Blk* nb,
+                std::uint64_t e) {
+  Blk* old = s->cur;
+  acc.store(&s->cur, nb);
+  es.pTrack(nb, e);    // BUG: tracking is post-commit
+  es.pDelete(old, e);  // BUG: pDelete is for abort paths, outside the tx
+}

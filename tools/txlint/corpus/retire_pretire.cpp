@@ -1,0 +1,13 @@
+// Known-bad: pRetire inside the transaction. Retirement enqueues durable
+// reclamation ordered by epoch; doing it before commit means an abort has
+// already scheduled a live node for reuse.
+// txlint-expect: retire-before-commit
+
+void erase(htm::ElidedLock& lock, epoch::EpochSys& es, Map& m, Key k,
+           std::uint64_t op_epoch) {
+  htm::run([&](htm::Txn& tx) {
+    lock.subscribe(tx);
+    Node* victim = m.unlink(tx, k);
+    es.pRetire(victim, op_epoch);  // BUG: retire strictly after commit
+  });
+}

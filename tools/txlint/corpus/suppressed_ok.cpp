@@ -1,0 +1,13 @@
+// A deliberate violation silenced with allow() — the pattern tests use
+// when they intentionally misuse the API to assert the resulting abort.
+// Exercises the suppression machinery: the finding fires, the allow()
+// swallows it, and the file must report nothing.
+// txlint-expect: none
+
+void abort_probe(nvm::Device& dev, htm::ElidedLock& lock, std::uint64_t* p) {
+  htm::run([&](htm::Txn& tx) {
+    lock.subscribe(tx);
+    // txlint: allow(persist-in-tx)
+    dev.clwb(p);  // intentional: the test asserts kAbortPersist is raised
+  });
+}

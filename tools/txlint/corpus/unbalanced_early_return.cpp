@@ -1,0 +1,13 @@
+// Known-bad: early return leaks the epoch reservation taken by beginOp.
+// The advancer can never move past this thread's op_epoch, so write-back
+// stalls globally — the whole system stops making durable progress.
+// txlint-expect: unbalanced-epoch-op
+
+bool try_update(epoch::EpochSys& es, Map& m, Key k, Val v) {
+  const auto e = es.beginOp();
+  Node* n = m.find(k);
+  if (!n) return false;  // BUG: missing abortOp on this path
+  m.write(n, v, e);
+  es.endOp();
+  return true;
+}

@@ -1,0 +1,10 @@
+// Known-bad: beginOp with no endOp/abortOp anywhere in the operation.
+// The reservation is permanent; epoch advancement stalls behind this
+// thread forever.
+// txlint-expect: unbalanced-epoch-op
+
+void update_forever(epoch::EpochSys& es, Map& m, Key k, Val v) {
+  const auto e = es.beginOp();
+  m.write(k, v, e);
+  // BUG: no endOp — the advancer stalls behind this thread
+}
