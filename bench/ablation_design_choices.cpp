@@ -189,6 +189,8 @@ void ablation_coalescing() {
 
 int main(int argc, char** argv) {
   bench::init("ablation_design_choices", argc, argv);
+  bench::set_structure("phtm-veb");
+  bench::set_structure("bd-spash");
   bench::print_header(
       "Ablations: BD-Spash persist routing / Listing-1 preallocation "
       "reuse / HTM capacity / write-back coalescing",

@@ -22,6 +22,7 @@
 //   --trace-out=PATH  / BDHTM_TRACE_OUT  enable tracing + set trace path
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -172,6 +173,7 @@ struct BenchExport {
   std::string name;
   std::string obs_out;    // JSON path; defaults to BENCH_<name>.json
   std::string trace_out;  // empty = tracing stays off
+  std::vector<std::string> structures;  // canonical names, insertion order
   std::vector<BenchRow> rows;
   htm::TxStats htm{};     // accumulated measured windows
   bool htm_noted = false;
@@ -230,6 +232,20 @@ inline void note_htm_stats() {
   a.fallbacks_lockwait += s.fallbacks_lockwait;
   a.fallbacks_exhausted += s.fallbacks_exhausted;
   e.htm_noted = true;
+}
+
+/// Declare a structure this bench exercises (canonical lowercase name,
+/// e.g. "phtm-veb", "bdl-skiplist", "bd-spash"). Repeatable; duplicates
+/// collapse. Every driver must call this at least once so the JSON
+/// header names its structures uniformly — fig4 and fig7 used to
+/// disagree (series-label-only vs free-text) and plot tooling had to
+/// special-case them; CI asserts `.config.structures` is non-empty.
+inline void set_structure(const char* name) {
+  auto& v = bench_export().structures;
+  for (const auto& s : v) {
+    if (s == name) return;
+  }
+  v.emplace_back(name);
 }
 
 inline void record_row(std::string table, std::string label, int threads,
@@ -293,6 +309,30 @@ inline int finish() {
   w.value(static_cast<std::uint64_t>(bench_ms()));
   w.key("threads");
   w.value(env_str("BDHTM_THREADS", "1,2,4"));
+  // Uniform header fields (the old files let each driver improvise):
+  // `structure` is the primary structure under test, `structures` every
+  // one the binary exercised, `thread_counts` the sorted unique thread
+  // counts that actually produced rows (not the raw env string above,
+  // which drivers with fixed thread counts ignore).
+  w.key("structure");
+  w.value(e.structures.empty() ? std::string{} : e.structures.front());
+  w.key("structures");
+  w.begin_array();
+  for (const std::string& s : e.structures) w.value(s);
+  w.end_array();
+  {
+    std::vector<int> tc;
+    for (const BenchRow& r : e.rows) {
+      bool seen = false;
+      for (int t : tc) seen = seen || t == r.threads;
+      if (!seen) tc.push_back(r.threads);
+    }
+    std::sort(tc.begin(), tc.end());
+    w.key("thread_counts");
+    w.begin_array();
+    for (int t : tc) w.value(t);
+    w.end_array();
+  }
   w.key("nvm_latency");
   w.value(env_int("BDHTM_NVM_LATENCY", 1) != 0);
   w.key("obs_noop");

@@ -1,0 +1,432 @@
+// Fig. 10 — service-layer throughput and latency: the sharded, batched
+// KVStore front door (DESIGN.md §10) over the three case-study
+// structures. Three series per backend, all at 8 closed-loop clients:
+//
+//   direct     — the clients call the structure library directly (no
+//                service): the upper reference for raw structure cost.
+//   unbatched  — the service in unbatched mode: synchronous clients
+//                (one request in flight each) and max_batch = 1, so
+//                every operation crosses the submission queue alone,
+//                pays its own worker handoff and client wakeup, and
+//                runs as its own Listing 1 envelope + transaction.
+//   batched    — clients submit flights of 16 and max_batch = 16: a
+//                flight crosses the queue as a run, resolves with one
+//                wakeup, and executes as ONE envelope + ONE transaction
+//                per per-shard group.
+//
+// Cells:
+//   - the three series, YCSB-A (Zipfian 0.99), per backend, batched at
+//     1/2/4 shards;
+//   - YCSB-A/B/C mix sweep on BD-Spash;
+//   - an open-loop overload cell measuring admission-control shedding
+//     (tiny queues, submitters outrunning the drain worker).
+//
+// Expected shape: batching amortizes the per-operation service handoff
+// (queue crossing, wakeup) plus the seq_cst beginOp/endOp announce
+// traffic and per-transaction begin/commit across max_batch operations,
+// so batched mode clears unbatched mode comfortably (acceptance bar:
+// >= 1.5x at 8 clients on at least one structure). It does NOT beat
+// direct library access by much — and can trail it — because the
+// simulated media latency inside each operation is not amortizable (by
+// design: buffered durability moves persists off the critical path, not
+// the accesses themselves). More shards fragment a client flight into
+// smaller per-shard groups, trading amortization for smaller HTM
+// footprints. Latency rows report end-to-end submit->resolve quantiles
+// (us); the overload cell reports shed rate (%) and surviving goodput.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "alloc/pallocator.hpp"
+#include "bench/bench_common.hpp"
+#include "common/spin.hpp"
+#include "epoch/epoch_sys.hpp"
+#include "nvm/device.hpp"
+#include "svc/kvstore.hpp"
+#include "workload/workload.hpp"
+
+using namespace bdhtm;
+
+namespace {
+
+constexpr int kClients = 8;
+constexpr std::size_t kFlight = 16;  // closed-loop ops in flight / client
+
+std::size_t device_cap(std::uint64_t keys) {
+  return std::max<std::size_t>(512ull << 20, keys * 512);
+}
+
+struct Cell {
+  double mops = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0;
+  double shed_pct = 0;
+};
+
+double q_us(std::vector<std::uint64_t>& ns, double q) {
+  if (ns.empty()) return 0;
+  const std::size_t i = static_cast<std::size_t>(
+      q * static_cast<double>(ns.size() - 1));
+  std::nth_element(ns.begin(), ns.begin() + static_cast<std::ptrdiff_t>(i),
+                   ns.end());
+  return static_cast<double>(ns[i]) / 1e3;
+}
+
+/// Fill one request from the workload mix (reads, then inserts, then
+/// removes — the same dice layout run_workload uses).
+void roll(svc::Request* r, workload::KeyGen& gen,
+          const workload::Config& cfg) {
+  const std::uint64_t k = gen.next();
+  const auto dice = gen.rng().next_below(100);
+  if (dice < static_cast<std::uint64_t>(cfg.read_pct)) {
+    *r = svc::Request::get(k);
+  } else if (dice <
+             static_cast<std::uint64_t>(cfg.read_pct + cfg.insert_pct)) {
+    *r = svc::Request::put(k, k + 1);
+  } else {
+    *r = svc::Request::del(k);
+  }
+}
+
+/// Routes prefill through the store's own shard map.
+struct StorePrefill {
+  svc::KVStore& store;
+  bool insert(std::uint64_t k, std::uint64_t v) {
+    return store.shard(store.shard_of(k)).insert(k, v);
+  }
+};
+
+struct World {
+  std::unique_ptr<nvm::Device> dev;
+  std::unique_ptr<alloc::PAllocator> pa;
+  std::unique_ptr<epoch::EpochSys> es;
+};
+
+World make_world(std::uint64_t keys) {
+  World w;
+  w.dev = std::make_unique<nvm::Device>(bench::nvm_cfg(device_cap(keys)));
+  w.pa = std::make_unique<alloc::PAllocator>(*w.dev);
+  epoch::EpochSys::Config ecfg;
+  ecfg.epoch_length_us = 50'000;
+  w.es = std::make_unique<epoch::EpochSys>(*w.pa, ecfg);
+  return w;
+}
+
+svc::KVStoreConfig store_cfg(svc::Backend b, int shards, int ubits,
+                             std::size_t max_batch) {
+  svc::KVStoreConfig scfg;
+  scfg.backend = b;
+  scfg.shards = shards;
+  scfg.workers = 1;  // one drainer; clients outnumber it by design
+  scfg.clients = kClients;
+  scfg.queue_capacity = 64;
+  scfg.max_batch = max_batch;
+  scfg.shard_opt.veb_ubits = ubits;
+  return scfg;
+}
+
+/// Closed-loop service cell: kClients submitter threads, each keeping
+/// `flight` requests in flight (submit the flight, wait the flight).
+/// Batched mode (flight = max_batch = 16): the drain worker finds runs
+/// in the queues and groups them. Unbatched mode (flight = max_batch =
+/// 1): synchronous clients, every operation crosses the service alone.
+Cell run_svc(svc::Backend b, int shards, const workload::Config& cfg,
+             int ubits, std::size_t flight, std::size_t max_batch) {
+  World w = make_world(cfg.key_space);
+  svc::KVStore store(*w.es, store_cfg(b, shards, ubits, max_batch));
+  StorePrefill pf{store};
+  workload::prefill(pf, cfg);
+
+  std::atomic<bool> start{false}, stop{false};
+  std::vector<std::uint64_t> ops_done(kClients, 0);
+  std::vector<std::vector<std::uint64_t>> lat(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      workload::KeyGen gen(cfg, splitmix64(cfg.seed + c * 1000003));
+      std::vector<svc::Request> flight_reqs(flight);
+      auto& l = lat[c];
+      l.reserve(1 << 16);
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (auto& r : flight_reqs) {
+          roll(&r, gen, cfg);
+          store.submit(c, &r);
+        }
+        for (auto& r : flight_reqs) {
+          store.wait(&r);
+          l.push_back(now_ns() - r.t_submit_ns);
+        }
+        ops_done[c] += flight;
+      }
+    });
+  }
+  const std::uint64_t t0 = now_ns();
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : clients) t.join();
+  const double secs = static_cast<double>(now_ns() - t0) / 1e9;
+  store.close();
+  bench::note_epoch_stats(w.es->stats());
+
+  Cell cell;
+  std::vector<std::uint64_t> all;
+  std::uint64_t ops = 0;
+  for (int c = 0; c < kClients; ++c) {
+    ops += ops_done[c];
+    all.insert(all.end(), lat[c].begin(), lat[c].end());
+  }
+  cell.mops = secs > 0 ? static_cast<double>(ops) / secs / 1e6 : 0;
+  cell.p50_us = q_us(all, 0.50);
+  cell.p95_us = q_us(all, 0.95);
+  cell.p99_us = q_us(all, 0.99);
+  return cell;
+}
+
+/// Direct-library reference: the same kClients threads call the
+/// structure directly — per-op envelope, per-op transaction, no service
+/// stack at all.
+Cell run_direct(svc::Backend b, const workload::Config& cfg, int ubits) {
+  World w = make_world(cfg.key_space);
+  svc::ShardOptions opt;
+  opt.veb_ubits = ubits;
+  auto shard = svc::make_shard(b, *w.es, opt);
+  workload::prefill(*shard, cfg);
+
+  std::atomic<bool> start{false}, stop{false};
+  std::vector<std::uint64_t> ops_done(kClients, 0);
+  std::vector<std::vector<std::uint64_t>> lat(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      workload::KeyGen gen(cfg, splitmix64(cfg.seed + c * 1000003));
+      auto& l = lat[c];
+      l.reserve(1 << 16);
+      svc::Request r;
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        roll(&r, gen, cfg);
+        const std::uint64_t t = now_ns();
+        switch (r.op.kind) {
+          case epoch::BatchOp::Kind::kGet:
+            shard->find(r.op.key);
+            break;
+          case epoch::BatchOp::Kind::kPut:
+            shard->insert(r.op.key, r.op.value);
+            break;
+          case epoch::BatchOp::Kind::kRemove:
+            shard->remove(r.op.key);
+            break;
+        }
+        l.push_back(now_ns() - t);
+        ops_done[c]++;
+      }
+    });
+  }
+  const std::uint64_t t0 = now_ns();
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const double secs = static_cast<double>(now_ns() - t0) / 1e9;
+  bench::note_epoch_stats(w.es->stats());
+
+  Cell cell;
+  std::vector<std::uint64_t> all;
+  std::uint64_t ops = 0;
+  for (int c = 0; c < kClients; ++c) {
+    ops += ops_done[c];
+    all.insert(all.end(), lat[c].begin(), lat[c].end());
+  }
+  cell.mops = secs > 0 ? static_cast<double>(ops) / secs / 1e6 : 0;
+  cell.p50_us = q_us(all, 0.50);
+  cell.p95_us = q_us(all, 0.95);
+  cell.p99_us = q_us(all, 0.99);
+  return cell;
+}
+
+/// Open-loop overload: tiny queues, submitters that never wait (each
+/// keeps a pool of requests and re-fills whichever have resolved), so
+/// offered load outruns the single drain worker and admission control
+/// must shed. Shed rate = rejected submissions / all submissions.
+Cell run_overload(svc::Backend b, const workload::Config& cfg, int ubits) {
+  World w = make_world(cfg.key_space);
+  svc::KVStoreConfig scfg = store_cfg(b, /*shards=*/1, ubits, kFlight);
+  scfg.queue_capacity = 8;  // shallow: back-pressure bites early
+  svc::KVStore store(*w.es, scfg);
+  StorePrefill pf{store};
+  workload::prefill(pf, cfg);
+
+  std::atomic<bool> start{false}, stop{false};
+  std::vector<std::uint64_t> submitted(kClients, 0), shed(kClients, 0),
+      served(kClients, 0);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  constexpr std::size_t kPool = 64;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      workload::KeyGen gen(cfg, splitmix64(cfg.seed + c * 7777));
+      std::vector<svc::Request> pool(kPool);
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (auto& r : pool) {
+          if (r.state.load(std::memory_order_acquire) ==
+              svc::Request::kQueued) {
+            continue;  // still in flight; offer elsewhere
+          }
+          if (r.state.load(std::memory_order_relaxed) ==
+              svc::Request::kDone) {
+            if (r.status != svc::Status::kRejected) served[c]++;
+          }
+          roll(&r, gen, cfg);
+          submitted[c]++;
+          if (!store.submit(c, &r)) shed[c]++;
+        }
+        // Open-loop pacing: hand the core over once per sweep so the
+        // drain worker is not starved into a 100% shed tarpit.
+        std::this_thread::yield();
+      }
+      // Drain: every request must resolve before the pool dies.
+      for (auto& r : pool) {
+        if (r.state.load(std::memory_order_acquire) ==
+            svc::Request::kQueued) {
+          store.wait(&r);
+        }
+      }
+    });
+  }
+  const std::uint64_t t0 = now_ns();
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : clients) t.join();
+  const double secs = static_cast<double>(now_ns() - t0) / 1e9;
+  store.close();
+  bench::note_epoch_stats(w.es->stats());
+
+  std::uint64_t sub = 0, rej = 0, ok = 0;
+  for (int c = 0; c < kClients; ++c) {
+    sub += submitted[c];
+    rej += shed[c];
+    ok += served[c];
+  }
+  Cell cell;
+  cell.shed_pct = sub > 0 ? 100.0 * static_cast<double>(rej) /
+                                static_cast<double>(sub)
+                          : 0;
+  cell.mops = secs > 0 ? static_cast<double>(ok) / secs / 1e6 : 0;
+  return cell;
+}
+
+void record_latency(const char* table, const char* label, const Cell& c) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s p50", label);
+  bench::record_row(table, buf, kClients, c.p50_us, "us");
+  std::snprintf(buf, sizeof buf, "%s p95", label);
+  bench::record_row(table, buf, kClients, c.p95_us, "us");
+  std::snprintf(buf, sizeof buf, "%s p99", label);
+  bench::record_row(table, buf, kClients, c.p99_us, "us");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init("fig10_service", argc, argv);
+  bench::set_structure("bd-spash");
+  bench::set_structure("phtm-veb");
+  bench::set_structure("bdl-skiplist");
+  const int ubits = bench::universe_bits(16);
+  const std::uint64_t keys = std::uint64_t{1} << ubits;
+  bench::print_header(
+      "Fig. 10: service layer — direct vs unbatched vs batched KVStore "
+      "(Mops/s), 8 clients",
+      "YCSB-A Zipfian 0.99 unless noted; batched: flight=max_batch=16; "
+      "latency rows in us; overload cell reports shed %");
+
+  const workload::Config ycsb_a =
+      workload::Config::ycsb_a().with(keys, 0.99, kClients,
+                                      bench::bench_ms());
+
+  const struct {
+    svc::Backend b;
+    const char* name;
+  } backends[] = {
+      {svc::Backend::kHash, "bd-spash"},
+      {svc::Backend::kVebTree, "phtm-veb"},
+      {svc::Backend::kSkiplist, "bdl-skiplist"},
+  };
+
+  for (const auto& [b, name] : backends) {
+    char table[96], lat_table[96];
+    std::snprintf(table, sizeof table, "%s, YCSB-A", name);
+    std::snprintf(lat_table, sizeof lat_table, "%s, YCSB-A latency", name);
+    std::printf("\n%s (Mops/s at %d clients)\n", table, kClients);
+
+    const Cell direct = run_direct(b, ycsb_a, ubits);
+    bench::record_row(table, "direct", kClients, direct.mops, "Mops");
+    record_latency(lat_table, "direct", direct);
+    std::printf("  %-18s %8.3f  (p99 %.1f us)\n", "direct", direct.mops,
+                direct.p99_us);
+    const Cell base = run_svc(b, 1, ycsb_a, ubits, /*flight=*/1,
+                              /*max_batch=*/1);
+    bench::record_row(table, "unbatched", kClients, base.mops, "Mops");
+    record_latency(lat_table, "unbatched", base);
+    std::printf("  %-18s %8.3f  (p99 %.1f us)\n", "unbatched", base.mops,
+                base.p99_us);
+    for (int shards : {1, 2, 4}) {
+      const Cell cell = run_svc(b, shards, ycsb_a, ubits, kFlight, kFlight);
+      char label[32];
+      std::snprintf(label, sizeof label, "batched s=%d", shards);
+      bench::record_row(table, label, kClients, cell.mops, "Mops");
+      record_latency(lat_table, label, cell);
+      std::printf("  %-18s %8.3f  (p99 %.1f us, %.2fx unbatched)\n", label,
+                  cell.mops, cell.p99_us,
+                  base.mops > 0 ? cell.mops / base.mops : 0.0);
+      std::fflush(stdout);
+    }
+  }
+
+  // Mix sweep on the hash backend (B and C shift toward reads, shrinking
+  // the amortizable write work per batch).
+  std::printf("\nbd-spash mix sweep (Mops/s, batched s=1 vs unbatched)\n");
+  const struct {
+    const char* name;
+    workload::Config cfg;
+  } mixes[] = {
+      {"YCSB-B", workload::Config::ycsb_b().with(keys, 0.99, kClients,
+                                                 bench::bench_ms())},
+      {"YCSB-C", workload::Config::ycsb_c().with(keys, 0.99, kClients,
+                                                 bench::bench_ms())},
+  };
+  for (const auto& [mix_name, mix_cfg] : mixes) {
+    char table[96];
+    std::snprintf(table, sizeof table, "bd-spash, %s", mix_name);
+    const Cell base = run_svc(svc::Backend::kHash, 1, mix_cfg, ubits, 1, 1);
+    const Cell cell = run_svc(svc::Backend::kHash, 1, mix_cfg, ubits,
+                              kFlight, kFlight);
+    bench::record_row(table, "unbatched", kClients, base.mops, "Mops");
+    bench::record_row(table, "batched s=1", kClients, cell.mops, "Mops");
+    std::printf("  %-8s unbatched %8.3f   batched %8.3f\n", mix_name,
+                base.mops, cell.mops);
+  }
+
+  // Overload / admission control.
+  const Cell over = run_overload(svc::Backend::kHash, ycsb_a, ubits);
+  bench::record_row("admission control", "shed_rate", kClients,
+                    over.shed_pct, "%");
+  bench::record_row("admission control", "goodput", kClients, over.mops,
+                    "Mops");
+  std::printf("\nadmission control (open loop, queue=8): shed %.1f%%, "
+              "goodput %.3f Mops/s\n",
+              over.shed_pct, over.mops);
+
+  return bench::finish();
+}

@@ -54,6 +54,8 @@ double run_phtm_veb(int ubits, double theta, int threads) {
 
 int main(int argc, char** argv) {
   bench::init("fig1_veb_persistence_cost", argc, argv);
+  bench::set_structure("phtm-veb");
+  bench::set_structure("htm-veb");
   const int ubits = bench::universe_bits(20);
   const auto threads = bench::thread_counts();
   bench::print_header(

@@ -58,11 +58,8 @@ void run_panel(const char* panel, int ubits, double theta,
     htm::reset_stats();
     auto guard = make_tree();  // pair{unique-ish owner, map&}
     auto& tree = *guard;
-    workload::Config cfg = workload::Config::write_heavy();
-    cfg.key_space = std::uint64_t{1} << ubits;
-    cfg.zipf_theta = theta;
-    cfg.threads = t;
-    cfg.duration_ms = bench::bench_ms();
+    const workload::Config cfg = workload::Config::write_heavy().with(
+        std::uint64_t{1} << ubits, theta, t, bench::bench_ms());
     workload::prefill(tree, cfg);
     htm::reset_stats();
     workload::run_workload(tree, cfg);
@@ -103,6 +100,8 @@ struct HtmBundle {
 
 int main(int argc, char** argv) {
   bench::init("fig2_veb_abort_rates", argc, argv);
+  bench::set_structure("phtm-veb");
+  bench::set_structure("htm-veb");
   const int ubits = bench::universe_bits(20);
   // The anomaly fired on ~half of low-thread-count transactions on the
   // paper's machine; the simulation knob reproduces that rate, and the

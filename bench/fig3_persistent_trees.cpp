@@ -58,6 +58,9 @@ double run_nvm_tree(int ubits, const workload::Config& cfg) {
 
 int main(int argc, char** argv) {
   bench::init("fig3_persistent_trees", argc, argv);
+  bench::set_structure("phtm-veb");
+  bench::set_structure("lbtree");
+  bench::set_structure("abtree");
   const int ubits = bench::universe_bits(18);
   const auto threads = bench::thread_counts();
   bench::print_header(

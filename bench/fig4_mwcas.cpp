@@ -74,6 +74,8 @@ void pick(Rng& rng, std::size_t n_slots, int n, std::size_t* idx) {
 
 int main(int argc, char** argv) {
   bench::init("fig4_mwcas", argc, argv);
+  bench::set_structure("htm-mwcas");
+  bench::set_structure("pmwcas");
   const std::size_t n_slots =
       static_cast<std::size_t>(env_int("BDHTM_MWCAS_SLOTS", 1 << 18));
   bench::print_header(

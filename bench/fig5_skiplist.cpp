@@ -22,15 +22,9 @@ using namespace bdhtm;
 namespace {
 
 workload::Config cfg_for(int threads, std::uint64_t keys) {
-  workload::Config cfg;
-  cfg.key_space = keys;
-  cfg.zipf_theta = 0.0;
-  cfg.read_pct = 20;  // read:write = 2:8
-  cfg.insert_pct = 40;
-  cfg.remove_pct = 40;
-  cfg.threads = threads;
-  cfg.duration_ms = bench::bench_ms();
-  return cfg;
+  // read:write = 2:8, uniform keys.
+  return workload::Config::write_heavy().with(keys, /*theta=*/0.0, threads,
+                                              bench::bench_ms());
 }
 
 std::size_t device_cap(std::uint64_t keys) {
@@ -74,6 +68,9 @@ struct NvmBundle {
 
 int main(int argc, char** argv) {
   bench::init("fig5_skiplist", argc, argv);
+  bench::set_structure("bdl-skiplist");
+  bench::set_structure("dl-skiplist");
+  bench::set_structure("t-skiplist");
   const std::uint64_t keys = std::uint64_t{1}
                              << bench::universe_bits(17);
   const auto threads = bench::thread_counts();

@@ -23,13 +23,9 @@ namespace {
 
 workload::Config panel_cfg(std::uint64_t keys, double theta,
                            bool write_heavy, int threads) {
-  workload::Config cfg = write_heavy ? workload::Config::write_heavy()
-                                     : workload::Config::read_heavy();
-  cfg.key_space = keys;
-  cfg.zipf_theta = theta;
-  cfg.threads = threads;
-  cfg.duration_ms = bench::bench_ms();
-  return cfg;
+  return (write_heavy ? workload::Config::write_heavy()
+                      : workload::Config::read_heavy())
+      .with(keys, theta, threads, bench::bench_ms());
 }
 
 std::size_t device_cap(std::uint64_t keys) {
@@ -79,6 +75,10 @@ double run_plush(std::uint64_t keys, const workload::Config& cfg) {
 
 int main(int argc, char** argv) {
   bench::init("fig6_hash_tables", argc, argv);
+  bench::set_structure("bd-spash");
+  bench::set_structure("spash");
+  bench::set_structure("cceh");
+  bench::set_structure("plush");
   const std::uint64_t keys = std::uint64_t{1}
                              << bench::universe_bits(17);
   const auto threads = bench::thread_counts();

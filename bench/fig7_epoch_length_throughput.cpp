@@ -55,6 +55,7 @@ double run_cell(int ubits, double theta, std::uint64_t epoch_us,
 
 int main(int argc, char** argv) {
   bench::init("fig7_epoch_length_throughput", argc, argv);
+  bench::set_structure("phtm-veb");
   const int ubits = bench::universe_bits(18);  // paper: 2^22 workload size
   bench::print_header(
       "Fig. 7: single-thread PHTM-vEB throughput vs epoch length",

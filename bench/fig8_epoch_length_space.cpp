@@ -46,6 +46,7 @@ double run_cell_mib(int ubits, double theta, std::uint64_t epoch_us) {
 
 int main(int argc, char** argv) {
   bench::init("fig8_epoch_length_space", argc, argv);
+  bench::set_structure("phtm-veb");
   const int ubits = bench::universe_bits(18);  // paper: 2^24 key space
   bench::print_header(
       "Fig. 8: PHTM-vEB NVM space (MiB) vs epoch length, 1 thread, "

@@ -77,6 +77,7 @@ CellResult run_cell(int flushers, bool coalesce, int ops_per_epoch) {
 
 int main(int argc, char** argv) {
   bench::init("fig9_writeback_pipeline", argc, argv);
+  bench::set_structure("epoch-pipeline");
   bench::print_header(
       "Fig. 9: epoch write-back pipeline — flushers x coalescing x epoch "
       "length",

@@ -145,6 +145,7 @@ BENCHMARK(BM_EpochTrackedWrite);
 // which treats unrecognized arguments as fatal.
 int main(int argc, char** argv) {
   bdhtm::bench::init("micro_substrates", argc, argv);
+  bdhtm::bench::set_structure("substrates");
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {

@@ -148,6 +148,9 @@ void corruption_sweep(std::uint64_t records, int ubits, std::size_t cap) {
 
 int main(int argc, char** argv) {
   bench::init("sec52_recovery", argc, argv);
+  bench::set_structure("phtm-veb");
+  bench::set_structure("bdl-skiplist");
+  bench::set_structure("bd-spash");
   const std::uint64_t records = env_int("BDHTM_RECOVERY_RECORDS", 400'000);
   const int ubits = 64 - __builtin_clzll(records * 2 - 1);
   const std::size_t cap =

@@ -37,6 +37,10 @@ workload::Config fill_cfg(int ubits) {
 
 int main(int argc, char** argv) {
   bench::init("table3_tree_space", argc, argv);
+  bench::set_structure("phtm-veb");
+  bench::set_structure("htm-veb");
+  bench::set_structure("lbtree");
+  bench::set_structure("abtree");
   const int ubits = bench::universe_bits(20);
   bench::print_header(
       "Table 3: space consumption (MiB) after prefilling 50% of the "

@@ -187,6 +187,17 @@ class EpochSys {
   /// made by the aborted operation.
   void abortOp();
 
+  /// True when the calling thread has an operation envelope open (a
+  /// beginOp() without its matching endOp()/abortOp()). The service
+  /// layer's batch executor opens ONE envelope around several structure
+  /// operations; structures consult this to skip their own registration
+  /// when running under a caller-owned envelope (epoch/batch.hpp).
+  bool in_op() { return tstate().op_epoch != kInvalidEpoch; }
+
+  /// Epoch of the calling thread's open envelope; kInvalidEpoch when no
+  /// operation is open.
+  std::uint64_t current_op_epoch() { return tstate().op_epoch; }
+
   /// Allocate an NVM block (epoch = invalid until setEpoch). Must be
   /// called outside any hardware transaction.
   void* pNew(std::size_t size);

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/threading.hpp"
+#include "epoch/batch.hpp"
 #include "epoch/epoch_sys.hpp"
 #include "epoch/kvpair.hpp"
 #include "hash/hotspot.hpp"
@@ -56,6 +57,21 @@ class BDSpash {
   /// Post-crash rebuild; returns the number of live pairs.
   std::size_t recover(int threads = 1);
 
+  /// Service-layer batch entry (DESIGN.md §10): apply ops[0..n) in one
+  /// elided transaction under the CALLER's epoch envelope. Full buckets
+  /// are split internally and the batch retried; OldSeeNew throws
+  /// epoch::EnvelopeRestart (see epoch/batch.hpp).
+  void apply_batch(epoch::BatchOp* ops, std::size_t n);
+
+  /// Reset the DRAM directory to its initial depth (sharded recovery
+  /// resets every shard, then routes scanned blocks back via
+  /// relink_recovered).
+  void reset_index();
+
+  /// Link one recovered block; duplicate keys keep the newer epoch.
+  /// Splits internally on full buckets. Thread-safe.
+  void relink_recovered(epoch::KVPair* kv, std::uint64_t create_epoch);
+
   std::uint64_t nvm_bytes() const { return es_.allocator().bytes_in_use(); }
   epoch::EpochSys& epoch_sys() { return es_; }
 
@@ -78,23 +94,45 @@ class BDSpash {
     bool used_new = false;
     bool result = false;
     bool full = false;
+    bool stale = false;  // saw a newer-epoch block (OldSeeNewException)
+    std::uint64_t out_value = 0;  // get result
   };
   struct ThreadCtx {
     epoch::KVPair* new_blk = nullptr;
+    // Batch scratch (see PHTMvEB::ThreadCtx).
+    std::vector<epoch::KVPair*> pool;
+    std::vector<epoch::KVPair*> blks;
+    std::vector<OpCtl> ctls;
   };
 
   template <typename Body, typename Prep>
   bool mutate(std::uint64_t key_hash, Body&& body, Prep&& prep);
   Segment* make_segment(std::uint64_t depth);
+  void init_directory(int depth);
   void split(std::uint64_t key_hash);
   template <typename Acc>
   Bucket& locate(Acc& acc, std::uint64_t h);
-  void link_recovered(epoch::KVPair* kv);
+  // Accessor-generic op bodies shared by the single-op paths and
+  // apply_batch; report OldSeeNew / full bucket via ctl instead of
+  // acc.fail() so batch callers can attribute the failing op.
+  template <typename Acc>
+  void insert_in_tx(Acc& acc, std::uint64_t op_epoch, std::uint64_t h,
+                    std::uint64_t key, std::uint64_t value,
+                    epoch::KVPair* nb, OpCtl& ctl);
+  template <typename Acc>
+  void remove_in_tx(Acc& acc, std::uint64_t op_epoch, std::uint64_t h,
+                    std::uint64_t key, OpCtl& ctl);
+  template <typename Acc>
+  void get_in_tx(Acc& acc, std::uint64_t h, std::uint64_t key, OpCtl& ctl);
+  void finish_batch(epoch::BatchOp* ops, std::size_t m, std::size_t n);
+  void route_persist(epoch::KVPair* blk, std::uint64_t h);
+  void link_one_recovered(epoch::KVPair* kv);
 
   epoch::EpochSys& es_;
   nvm::Device& dev_;
   std::size_t block_bytes_;
   PersistRouting routing_;
+  int initial_depth_;
   htm::ElidedLock lock_;
   HotspotDetector hotspot_;
   std::uint64_t global_depth_;

@@ -70,6 +70,8 @@ constexpr TypeInfo kTypes[static_cast<int>(TraceEventType::kNumTypes)] = {
     {"fault.trip", "nvm", "event_class", "count", false},
     {"crash", "nvm", "", "", false},
     {"recovery.scan", "epoch", "scanned", "quarantined", true},
+    {"svc.batch", "svc", "shard", "ops", true},
+    {"svc.shed", "svc", "client", "capacity", false},
 };
 
 }  // namespace

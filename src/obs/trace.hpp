@@ -32,6 +32,8 @@ enum class TraceEventType : std::uint16_t {
   kFaultTrip,         // instant;  a=FaultEvent class, b=trigger count
   kCrash,             // instant;  simulate_crash()
   kRecovery,          // complete; a=blocks scanned, b=blocks quarantined
+  kSvcBatch,          // complete; a=shard index, b=ops in the batch
+  kSvcShed,           // instant;  a=client index, b=queue capacity
   kNumTypes,
 };
 

@@ -22,6 +22,7 @@
 
 #include "common/defs.hpp"
 #include "common/threading.hpp"
+#include "epoch/batch.hpp"
 #include "epoch/epoch_sys.hpp"
 #include "epoch/kvpair.hpp"
 #include "skiplist/skiplist_base.hpp"
@@ -44,6 +45,21 @@ class BDLSkiplist {
 
   /// Post-crash rebuild with `threads` workers; returns live pairs.
   std::size_t recover(int threads = 1);
+
+  /// Service-layer batch entry (DESIGN.md §10): apply ops[0..n) under
+  /// the CALLER's epoch envelope. Unlike the elided structures the
+  /// skiplist cannot group a batch into one transaction — link updates
+  /// are individual HTM-MwCAS operations — so the batch amortizes only
+  /// the beginOp/endOp envelope; ops run sequentially. OldSeeNew throws
+  /// epoch::EnvelopeRestart (see epoch/batch.hpp).
+  void apply_batch(epoch::BatchOp* ops, std::size_t n);
+
+  /// Drop the DRAM towers (sharded recovery support).
+  void reset_index();
+
+  /// Link one recovered block; duplicate keys keep the newer epoch.
+  /// Thread-safe.
+  void relink_recovered(epoch::KVPair* kv, std::uint64_t create_epoch);
 
   std::uint64_t nvm_bytes() const { return es_.allocator().bytes_in_use(); }
   epoch::EpochSys& epoch_sys() { return es_; }
@@ -76,7 +92,14 @@ class BDLSkiplist {
 
   epoch::KVPair* prep_block(std::uint64_t k, std::uint64_t v);
   void consume_or_unstamp(bool used);
-  void link_recovered(epoch::KVPair* kv);
+  // Op cores running under an ALREADY-OPEN envelope at `op_epoch`; on
+  // OldSeeNew they set *restart and return without touching the
+  // envelope (the caller decides between abortOp and EnvelopeRestart).
+  bool insert_enveloped(std::uint64_t op_epoch, std::uint64_t key,
+                        std::uint64_t value, bool* restart);
+  bool remove_enveloped(std::uint64_t op_epoch, std::uint64_t key,
+                        bool* restart);
+  std::optional<std::uint64_t> find_enveloped(std::uint64_t key);
 
   epoch::EpochSys& es_;
   nvm::Device& dev_;

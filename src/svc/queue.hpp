@@ -1,0 +1,65 @@
+// Bounded single-producer / single-consumer ring for the service layer
+// (DESIGN.md §10). Each client owns one queue as its sole producer; the
+// worker that owns the client is the sole consumer, so a Lamport ring
+// with acquire/release head/tail is enough — no CAS on the hot path.
+//
+// A full queue is the admission-control signal: try_push fails and the
+// submitter sheds the request with Status::kRejected instead of letting
+// an overload grow an unbounded backlog (queue depth bounds end-to-end
+// latency; see the backpressure discussion in DESIGN.md §10).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+namespace bdhtm::svc {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two (>= 2).
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t c = 2;
+    while (c < capacity) c <<= 1;
+    cap_ = c;
+    mask_ = c - 1;
+    slots_ = std::make_unique<T[]>(c);
+  }
+
+  /// Producer side; false when full (admission control trigger).
+  bool try_push(T v) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) >= cap_) return false;
+    slots_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side; false when empty.
+  bool try_pop(T* out) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return false;
+    *out = std::move(slots_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate depth (exact for the producer or consumer thread).
+  std::size_t size() const {
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    return t - h;
+  }
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return cap_; }
+
+ private:
+  std::size_t cap_ = 0;
+  std::size_t mask_ = 0;
+  std::unique_ptr<T[]> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace bdhtm::svc

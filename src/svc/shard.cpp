@@ -1,0 +1,121 @@
+#include "svc/shard.hpp"
+
+#include "hash/bd_spash.hpp"
+#include "skiplist/bdl_skiplist.hpp"
+#include "veb/phtm_veb.hpp"
+
+namespace bdhtm::svc {
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kVebTree:
+      return "phtm-veb";
+    case Backend::kSkiplist:
+      return "bdl-skiplist";
+    case Backend::kHash:
+      return "bd-spash";
+  }
+  return "?";
+}
+
+namespace {
+
+class VebShard final : public ShardIndex {
+ public:
+  VebShard(epoch::EpochSys& es, const ShardOptions& opt)
+      : t_(es, opt.veb_ubits) {}
+  bool insert(std::uint64_t k, std::uint64_t v) override {
+    return t_.insert(k, v);
+  }
+  bool remove(std::uint64_t k) override { return t_.remove(k); }
+  std::optional<std::uint64_t> find(std::uint64_t k) override {
+    return t_.find(k);
+  }
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> successor(
+      std::uint64_t k) override {
+    return t_.successor(k);
+  }
+  bool ordered() const override { return true; }
+  void apply_batch(epoch::BatchOp* ops, std::size_t n) override {
+    t_.apply_batch(ops, n);
+  }
+  void reset_index() override { t_.reset_index(); }
+  void relink_recovered(epoch::KVPair* kv, std::uint64_t ce) override {
+    t_.relink_recovered(kv, ce);
+  }
+
+ private:
+  veb::PHTMvEB t_;
+};
+
+class SkiplistShard final : public ShardIndex {
+ public:
+  explicit SkiplistShard(epoch::EpochSys& es) : t_(es) {}
+  bool insert(std::uint64_t k, std::uint64_t v) override {
+    return t_.insert(k, v);
+  }
+  bool remove(std::uint64_t k) override { return t_.remove(k); }
+  std::optional<std::uint64_t> find(std::uint64_t k) override {
+    return t_.find(k);
+  }
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> successor(
+      std::uint64_t k) override {
+    return t_.successor(k);
+  }
+  bool ordered() const override { return true; }
+  void apply_batch(epoch::BatchOp* ops, std::size_t n) override {
+    t_.apply_batch(ops, n);
+  }
+  void reset_index() override { t_.reset_index(); }
+  void relink_recovered(epoch::KVPair* kv, std::uint64_t ce) override {
+    t_.relink_recovered(kv, ce);
+  }
+
+ private:
+  skiplist::BDLSkiplist t_;
+};
+
+class HashShard final : public ShardIndex {
+ public:
+  HashShard(epoch::EpochSys& es, const ShardOptions& opt)
+      : t_(es, opt.hash_initial_depth) {}
+  bool insert(std::uint64_t k, std::uint64_t v) override {
+    return t_.insert(k, v);
+  }
+  bool remove(std::uint64_t k) override { return t_.remove(k); }
+  std::optional<std::uint64_t> find(std::uint64_t k) override {
+    return t_.find(k);
+  }
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> successor(
+      std::uint64_t) override {
+    return std::nullopt;  // unordered
+  }
+  bool ordered() const override { return false; }
+  void apply_batch(epoch::BatchOp* ops, std::size_t n) override {
+    t_.apply_batch(ops, n);
+  }
+  void reset_index() override { t_.reset_index(); }
+  void relink_recovered(epoch::KVPair* kv, std::uint64_t ce) override {
+    t_.relink_recovered(kv, ce);
+  }
+
+ private:
+  hash::BDSpash t_;
+};
+
+}  // namespace
+
+std::unique_ptr<ShardIndex> make_shard(Backend b, epoch::EpochSys& es,
+                                       const ShardOptions& opt) {
+  switch (b) {
+    case Backend::kVebTree:
+      return std::make_unique<VebShard>(es, opt);
+    case Backend::kSkiplist:
+      return std::make_unique<SkiplistShard>(es);
+    case Backend::kHash:
+      return std::make_unique<HashShard>(es, opt);
+  }
+  return nullptr;
+}
+
+}  // namespace bdhtm::svc

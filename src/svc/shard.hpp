@@ -1,0 +1,57 @@
+// Shard adapters (DESIGN.md §10): one virtual interface over the three
+// case-study structures so the KVStore facade, the batching workers and
+// sharded recovery are structure-agnostic. All shards of a store share
+// the one global EpochSys — sharding splits HTM conflict footprints and
+// spreads flusher work, not durability state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "epoch/batch.hpp"
+#include "epoch/epoch_sys.hpp"
+#include "epoch/kvpair.hpp"
+
+namespace bdhtm::svc {
+
+enum class Backend : std::uint8_t { kVebTree, kSkiplist, kHash };
+
+const char* backend_name(Backend b);
+
+struct ShardOptions {
+  int veb_ubits = 20;          // PHTM-vEB universe bits
+  int hash_initial_depth = 4;  // BD-Spash directory depth
+};
+
+/// One keyspace partition. Single-op entry points follow the structures'
+/// own Listing 1 protocol (each opens its own envelope); apply_batch runs
+/// under the CALLER's envelope and may throw epoch::EnvelopeRestart (see
+/// epoch/batch.hpp).
+class ShardIndex {
+ public:
+  virtual ~ShardIndex() = default;
+
+  virtual bool insert(std::uint64_t key, std::uint64_t value) = 0;
+  virtual bool remove(std::uint64_t key) = 0;
+  virtual std::optional<std::uint64_t> find(std::uint64_t key) = 0;
+  /// Smallest (key, value) strictly greater than `key`; std::nullopt for
+  /// unordered backends (ordered() == false) or when none exists.
+  virtual std::optional<std::pair<std::uint64_t, std::uint64_t>> successor(
+      std::uint64_t key) = 0;
+  virtual bool ordered() const = 0;
+
+  virtual void apply_batch(epoch::BatchOp* ops, std::size_t n) = 0;
+
+  // Sharded recovery: the store resets every shard, runs ONE heap scan,
+  // and routes each surviving block to its shard's relink_recovered.
+  virtual void reset_index() = 0;
+  virtual void relink_recovered(epoch::KVPair* kv,
+                                std::uint64_t create_epoch) = 0;
+};
+
+std::unique_ptr<ShardIndex> make_shard(Backend b, epoch::EpochSys& es,
+                                       const ShardOptions& opt);
+
+}  // namespace bdhtm::svc

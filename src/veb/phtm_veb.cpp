@@ -1,6 +1,8 @@
 #include "veb/phtm_veb.hpp"
 
+#include <cassert>
 #include <thread>
+#include <type_traits>
 
 #include "htm/retry.hpp"
 
@@ -109,6 +111,73 @@ bool PHTMvEB::mutate(Body&& body, Prep&& prep) {
   }
 }
 
+template <typename Acc>
+void PHTMvEB::insert_in_tx(Acc& acc, std::uint64_t op_epoch,
+                           std::uint64_t key, std::uint64_t value,
+                           KVPair* nb, OpCtl& ctl) {
+  // Stamp the preallocation with our epoch before the linearization
+  // point (Listing 1 line 17).
+  epoch::EpochSys::set_epoch_generic(acc, dev_, nb, op_epoch);
+
+  if (std::uint64_t* sa = core_->slot_addr(acc, key)) {
+    auto* cur = reinterpret_cast<KVPair*>(acc.load(sa));
+    const std::uint64_t e =
+        acc.load(&alloc::PAllocator::header_of(cur)->create_epoch);
+    if (e != alloc::kInvalidEpoch && e > op_epoch) {
+      ctl.stale = true;  // OldSeeNewException; caller decides how to abort
+      return;
+    }
+    if (e == op_epoch) {
+      // Same epoch: in-place update (Listing 1 line 29).
+      acc.store_nvm(dev_, &cur->value, value);
+      ctl.persist = cur;
+    } else {
+      // Older epoch: replace out-of-place, retire the old block.
+      acc.store(sa, reinterpret_cast<std::uint64_t>(nb));
+      ctl.retire = cur;
+      ctl.persist = nb;
+      ctl.used_new = true;
+    }
+    ctl.result = false;
+  } else {
+    core_->insert_new(acc, key, reinterpret_cast<std::uint64_t>(nb));
+    ctl.persist = nb;
+    ctl.used_new = true;
+    ctl.result = true;
+  }
+}
+
+template <typename Acc>
+void PHTMvEB::remove_in_tx(Acc& acc, std::uint64_t op_epoch,
+                           std::uint64_t key, OpCtl& ctl) {
+  if (std::uint64_t* sa = core_->slot_addr(acc, key)) {
+    auto* cur = reinterpret_cast<KVPair*>(acc.load(sa));
+    const std::uint64_t e =
+        acc.load(&alloc::PAllocator::header_of(cur)->create_epoch);
+    if (e != alloc::kInvalidEpoch && e > op_epoch) {
+      ctl.stale = true;
+      return;
+    }
+    core_->remove_existing(acc, key);
+    ctl.retire = cur;
+    ctl.result = true;
+  } else {
+    ctl.result = false;
+  }
+}
+
+template <typename Acc>
+void PHTMvEB::get_in_tx(Acc& acc, std::uint64_t key, OpCtl& ctl) {
+  if (std::uint64_t* sa = core_->slot_addr(acc, key)) {
+    auto* kv = reinterpret_cast<KVPair*>(acc.load(sa));
+    dev_.account_read();  // value fetch touches NVM
+    ctl.out_value = acc.load(&kv->value);
+    ctl.result = true;
+  } else {
+    ctl.result = false;
+  }
+}
+
 bool PHTMvEB::insert(std::uint64_t key, std::uint64_t value) {
   auto& tc = tctx_[thread_id()].value;
   return mutate([&](auto& acc, std::uint64_t op_epoch, OpCtl& ctl) {
@@ -117,36 +186,8 @@ bool PHTMvEB::insert(std::uint64_t key, std::uint64_t value) {
     // The preallocated block was prepared outside the transaction (see
     // below: mutate() re-runs this body, and the first statement of each
     // attempt must make the block ready).
-    KVPair* nb = tc.new_blk;
-    // Stamp the preallocation with our epoch before the linearization
-    // point (Listing 1 line 17).
-    epoch::EpochSys::set_epoch_generic(acc, dev_, nb, op_epoch);
-
-    if (std::uint64_t* sa = core_->slot_addr(acc, key)) {
-      auto* cur = reinterpret_cast<KVPair*>(acc.load(sa));
-      const std::uint64_t e =
-          acc.load(&alloc::PAllocator::header_of(cur)->create_epoch);
-      if (e != alloc::kInvalidEpoch && e > op_epoch) {
-        acc.fail(kOldSeeNewException);  // OldSeeNewException
-      }
-      if (e == op_epoch) {
-        // Same epoch: in-place update (Listing 1 line 29).
-        acc.store_nvm(dev_, &cur->value, value);
-        ctl.persist = cur;
-      } else {
-        // Older epoch: replace out-of-place, retire the old block.
-        acc.store(sa, reinterpret_cast<std::uint64_t>(nb));
-        ctl.retire = cur;
-        ctl.persist = nb;
-        ctl.used_new = true;
-      }
-      ctl.result = false;
-    } else {
-      core_->insert_new(acc, key, reinterpret_cast<std::uint64_t>(nb));
-      ctl.persist = nb;
-      ctl.used_new = true;
-      ctl.result = true;
-    }
+    insert_in_tx(acc, op_epoch, key, value, tc.new_blk, ctl);
+    if (ctl.stale) acc.fail(kOldSeeNewException);
   },
   /*prep=*/[&](std::uint64_t) {
     if (tc.new_blk == nullptr) {
@@ -161,35 +202,22 @@ bool PHTMvEB::remove(std::uint64_t key) {
   return mutate([&](auto& acc, std::uint64_t op_epoch, OpCtl& ctl) {
     ctl.prewalk_key = key;
     ctl.prewalk_key_valid = true;
-    if (std::uint64_t* sa = core_->slot_addr(acc, key)) {
-      auto* cur = reinterpret_cast<KVPair*>(acc.load(sa));
-      const std::uint64_t e =
-          acc.load(&alloc::PAllocator::header_of(cur)->create_epoch);
-      if (e != alloc::kInvalidEpoch && e > op_epoch) {
-        acc.fail(kOldSeeNewException);
-      }
-      core_->remove_existing(acc, key);
-      ctl.retire = cur;
-      ctl.result = true;
-    } else {
-      ctl.result = false;
-    }
+    remove_in_tx(acc, op_epoch, key, ctl);
+    if (ctl.stale) acc.fail(kOldSeeNewException);
   });
 }
 
 std::optional<std::uint64_t> PHTMvEB::find(std::uint64_t key) {
   es_.beginOp();  // pin the epoch: blocks we read cannot be reclaimed
-  auto out = htm::elide<std::optional<std::uint64_t>>(
-      lock_, [&](auto& acc) -> std::optional<std::uint64_t> {
-        if (std::uint64_t* sa = core_->slot_addr(acc, key)) {
-          auto* kv = reinterpret_cast<KVPair*>(acc.load(sa));
-          dev_.account_read();  // value fetch touches NVM
-          return acc.load(&kv->value);
-        }
-        return std::nullopt;
-      });
+  OpCtl ctl;
+  htm::elide<bool>(lock_, [&](auto& acc) -> bool {
+    ctl = OpCtl{};
+    get_in_tx(acc, key, ctl);
+    return true;
+  });
   es_.endOp();
-  return out;
+  return ctl.result ? std::optional<std::uint64_t>{ctl.out_value}
+                    : std::nullopt;
 }
 
 std::optional<std::pair<std::uint64_t, std::uint64_t>> PHTMvEB::successor(
@@ -207,7 +235,109 @@ std::optional<std::pair<std::uint64_t, std::uint64_t>> PHTMvEB::successor(
   return out;
 }
 
-void PHTMvEB::link_recovered(KVPair* kv, std::uint64_t create_epoch) {
+void PHTMvEB::apply_batch(epoch::BatchOp* ops, std::size_t n) {
+  using Kind = epoch::BatchOp::Kind;
+  assert(es_.in_op() && "apply_batch runs under the caller's envelope");
+  if (n == 0) return;
+  const std::uint64_t op_epoch = es_.current_op_epoch();
+  auto& tc = tctx_[thread_id()].value;
+
+  // One preallocated block per put, (re)initialized OUTSIDE the
+  // transaction — pNew never runs inside a txn (Listing 1). Blocks a
+  // committed op did not consume go back to the per-thread pool.
+  tc.blks.assign(n, nullptr);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ops[i].kind != Kind::kPut) continue;
+    if (tc.pool.empty()) {
+      tc.blks[i] = epoch::make_kv(es_, ops[i].key, ops[i].value);
+    } else {
+      tc.blks[i] = tc.pool.back();
+      tc.pool.pop_back();
+      epoch::reinit_kv(es_, tc.blks[i], ops[i].key, ops[i].value);
+    }
+  }
+  tc.ctls.assign(n, OpCtl{});
+
+  // Prefix the FALLBACK applied irrevocably; HTM aborts roll everything
+  // back, so the counter only ever moves under NontxAccess (plain writes
+  // to locals survive transactional aborts — see DESIGN.md §4).
+  std::size_t fb_applied = 0;
+  try {
+    htm::elide<bool>(lock_, [&](auto& acc) -> bool {
+      using AccT = std::decay_t<decltype(acc)>;
+      for (std::size_t i = fb_applied; i < n; ++i) {
+        OpCtl& ctl = tc.ctls[i];
+        ctl = OpCtl{};  // re-executed attempts must reset plain state
+        epoch::BatchOp& op = ops[i];
+        switch (op.kind) {
+          case Kind::kPut:
+            insert_in_tx(acc, op_epoch, op.key, op.value, tc.blks[i], ctl);
+            break;
+          case Kind::kRemove:
+            remove_in_tx(acc, op_epoch, op.key, ctl);
+            break;
+          case Kind::kGet:
+            get_in_tx(acc, op.key, ctl);
+            break;
+        }
+        if (ctl.stale) {
+          // HTM: rolls the whole batch back. Fallback: unwinds with ops
+          // [fb_applied, i) already applied — reported via the restart.
+          acc.fail(kOldSeeNewException);
+        }
+        if constexpr (!AccT::transactional()) fb_applied = i + 1;
+      }
+      return true;
+    });
+  } catch (const htm::FallbackRestart& fr) {
+    assert(fr.code == kOldSeeNewException);
+    (void)fr;
+    finish_batch(ops, fb_applied, n);
+    throw epoch::EnvelopeRestart{fb_applied};
+  }
+  finish_batch(ops, n, n);
+}
+
+void PHTMvEB::finish_batch(epoch::BatchOp* ops, std::size_t m,
+                           std::size_t n) {
+  auto& tc = tctx_[thread_id()].value;
+  for (std::size_t i = 0; i < m; ++i) {
+    OpCtl& ctl = tc.ctls[i];
+    if (KVPair* nb = tc.blks[i]; nb != nullptr && !ctl.used_new) {
+      // Unused preallocation: reset its stamp so no stamped-but-unlinked
+      // block outlives the batch (paper §5 guideline), then recycle.
+      auto* hdr = alloc::PAllocator::header_of(nb);
+      hdr->create_epoch = alloc::kInvalidEpoch;
+      dev_.mark_dirty(&hdr->create_epoch, 8);
+      tc.pool.push_back(nb);
+    }
+    tc.blks[i] = nullptr;
+    if (ctl.retire != nullptr) es_.pRetire(ctl.retire);
+    if (ctl.persist != nullptr) es_.pTrack(ctl.persist);
+    ops[i].ok = ctl.result;
+    ops[i].out_value = ctl.out_value;
+  }
+  // Restart path: ops [m, n) re-prep on the retry call; recycle their
+  // blocks (the failing op may have stamped its block in the fallback —
+  // unstamp so the pool holds only invalid-epoch blocks).
+  for (std::size_t i = m; i < n; ++i) {
+    if (KVPair* nb = tc.blks[i]; nb != nullptr) {
+      auto* hdr = alloc::PAllocator::header_of(nb);
+      if (hdr->create_epoch != alloc::kInvalidEpoch) {
+        hdr->create_epoch = alloc::kInvalidEpoch;
+        dev_.mark_dirty(&hdr->create_epoch, 8);
+      }
+      tc.pool.push_back(nb);
+      tc.blks[i] = nullptr;
+    }
+  }
+}
+
+void PHTMvEB::reset_index() {
+  core_ = std::make_unique<VebCore>(core_->ubits());
+}
+
+void PHTMvEB::relink_recovered(KVPair* kv, std::uint64_t create_epoch) {
   KVPair* loser = htm::elide<KVPair*>(lock_, [&](auto& acc) -> KVPair* {
     const std::uint64_t key = kv->key;
     if (std::uint64_t* sa = core_->slot_addr(acc, key)) {
@@ -228,13 +358,13 @@ void PHTMvEB::link_recovered(KVPair* kv, std::uint64_t create_epoch) {
 }
 
 std::size_t PHTMvEB::recover(int threads) {
-  core_ = std::make_unique<VebCore>(core_->ubits());
+  reset_index();
   std::vector<std::pair<KVPair*, std::uint64_t>> blocks;
   es_.recover([&](void* payload, std::uint64_t ce) {
     blocks.emplace_back(static_cast<KVPair*>(payload), ce);
   });
   if (threads <= 1) {
-    for (auto& [kv, ce] : blocks) link_recovered(kv, ce);
+    for (auto& [kv, ce] : blocks) relink_recovered(kv, ce);
   } else {
     std::vector<std::thread> workers;
     const std::size_t chunk = (blocks.size() + threads - 1) / threads;
@@ -244,7 +374,7 @@ std::size_t PHTMvEB::recover(int threads) {
       if (lo >= hi) break;
       workers.emplace_back([this, &blocks, lo, hi] {
         for (std::size_t i = lo; i < hi; ++i) {
-          link_recovered(blocks[i].first, blocks[i].second);
+          relink_recovered(blocks[i].first, blocks[i].second);
         }
       });
     }

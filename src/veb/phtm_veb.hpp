@@ -25,6 +25,7 @@
 
 #include "common/defs.hpp"
 #include "common/threading.hpp"
+#include "epoch/batch.hpp"
 #include "epoch/epoch_sys.hpp"
 #include "epoch/kvpair.hpp"
 #include "htm/engine.hpp"
@@ -50,6 +51,21 @@ class PHTMvEB {
   /// `threads` workers. Returns the number of live pairs.
   std::size_t recover(int threads = 1);
 
+  /// Service-layer batch entry (DESIGN.md §10): apply ops[0..n) under
+  /// the CALLER's open epoch envelope, all in one elided transaction —
+  /// the per-txn and per-envelope overhead amortizes across the batch.
+  /// Throws epoch::EnvelopeRestart when an op observes a newer-epoch
+  /// block (see epoch/batch.hpp for the restart contract).
+  void apply_batch(epoch::BatchOp* ops, std::size_t n);
+
+  /// Drop the DRAM index (sharded recovery resets every shard, scans the
+  /// shared heap once, and routes blocks back via relink_recovered).
+  void reset_index();
+
+  /// Link one recovered block into the index; on duplicate keys the
+  /// newer-epoch block wins and the loser is reclaimed. Thread-safe.
+  void relink_recovered(epoch::KVPair* kv, std::uint64_t create_epoch);
+
   int ubits() const { return core_->ubits(); }
   std::uint64_t dram_bytes() const { return core_->dram_bytes(); }
   std::uint64_t nvm_bytes() const { return es_.allocator().bytes_in_use(); }
@@ -61,11 +77,18 @@ class PHTMvEB {
     epoch::KVPair* persist = nullptr;
     bool used_new = false;
     bool result = false;
+    bool stale = false;  // saw a newer-epoch block (OldSeeNewException)
+    std::uint64_t out_value = 0;  // get result
     std::uint64_t prewalk_key = 0;
     bool prewalk_key_valid = false;
   };
   struct ThreadCtx {
     epoch::KVPair* new_blk = nullptr;
+    // Batch scratch: preallocation pool plus per-op block/ctl arrays,
+    // reused across apply_batch calls (no steady-state allocation).
+    std::vector<epoch::KVPair*> pool;
+    std::vector<epoch::KVPair*> blks;
+    std::vector<OpCtl> ctls;
   };
 
   // Listing 1 retry structure; `prep` runs outside the transaction after
@@ -76,8 +99,22 @@ class PHTMvEB {
   bool mutate(Body&& body) {
     return mutate(std::forward<Body>(body), [](std::uint64_t) {});
   }
+  // Accessor-generic op bodies shared by the single-op paths and
+  // apply_batch. They report OldSeeNew via ctl.stale instead of
+  // acc.fail() so batch callers can attribute the failing op.
+  template <typename Acc>
+  void insert_in_tx(Acc& acc, std::uint64_t op_epoch, std::uint64_t key,
+                    std::uint64_t value, epoch::KVPair* nb, OpCtl& ctl);
+  template <typename Acc>
+  void remove_in_tx(Acc& acc, std::uint64_t op_epoch, std::uint64_t key,
+                    OpCtl& ctl);
+  template <typename Acc>
+  void get_in_tx(Acc& acc, std::uint64_t key, OpCtl& ctl);
+  /// Post-commit epilogue for batch ops [0, m): consume or recycle
+  /// preallocations, pRetire/pTrack, publish results; ops [m, n) only
+  /// recycle their preallocations (the restart path re-preps them).
+  void finish_batch(epoch::BatchOp* ops, std::size_t m, std::size_t n);
   void prewalk(std::uint64_t key);
-  void link_recovered(epoch::KVPair* kv, std::uint64_t create_epoch);
 
   epoch::EpochSys& es_;
   nvm::Device& dev_;

@@ -47,6 +47,54 @@ struct Config {
     c.remove_pct = 5;
     return c;
   }
+
+  // YCSB core-workload presets (Zipfian theta 0.99, "updates" split
+  // insert/remove so structure sizes stay stable — the paper's
+  // convention). A = 50/50 read/update, B = 95/5, C = read-only.
+  static Config ycsb_a() { return mix(50, 25, 25); }
+  static Config ycsb_b() { return mix(95, 3, 2); }
+  static Config ycsb_c() { return mix(100, 0, 0); }
+
+  /// Shared fluent knobs so bench drivers stop hand-rolling config
+  /// blocks: `Config::ycsb_b().with(1 << 16, 0.99, 4, 500)`.
+  Config with(std::uint64_t keys, double theta, int nthreads,
+              std::uint64_t ms) const {
+    Config c = *this;
+    c.key_space = keys;
+    c.zipf_theta = theta;
+    c.threads = nthreads;
+    c.duration_ms = ms;
+    return c;
+  }
+  Config with_keys(std::uint64_t keys) const {
+    Config c = *this;
+    c.key_space = keys;
+    return c;
+  }
+  Config with_theta(double theta) const {
+    Config c = *this;
+    c.zipf_theta = theta;
+    return c;
+  }
+  Config with_threads(int nthreads) const {
+    Config c = *this;
+    c.threads = nthreads;
+    return c;
+  }
+  Config with_duration_ms(std::uint64_t ms) const {
+    Config c = *this;
+    c.duration_ms = ms;
+    return c;
+  }
+
+  static Config mix(int read, int insert, int remove) {
+    Config c;
+    c.read_pct = read;
+    c.insert_pct = insert;
+    c.remove_pct = remove;
+    c.zipf_theta = 0.99;
+    return c;
+  }
 };
 
 struct RunResult {

@@ -1,0 +1,437 @@
+// Service-layer unit tests (DESIGN.md §10): KVStore admission control,
+// shard routing, batch execution against a sequential oracle, the
+// envelope-restart protocol, ordered scans, release policies, and the
+// shutdown contract — a submitted request always resolves (completed or
+// kRejected), it is never lost. The suite runs in the sanitizer lane:
+// the submit/shutdown race test is the TSan target the checklist names.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "epoch/batch.hpp"
+#include "epoch/epoch_sys.hpp"
+#include "nvm/device.hpp"
+#include "svc/kvstore.hpp"
+#include "svc/queue.hpp"
+
+namespace bdhtm {
+namespace {
+
+struct SvcWorld {
+  explicit SvcWorld(bool manual_epochs = false) {
+    nvm::DeviceConfig dcfg;
+    dcfg.capacity = 64ull << 20;
+    dev = std::make_unique<nvm::Device>(dcfg);
+    pa = std::make_unique<alloc::PAllocator>(*dev);
+    epoch::EpochSys::Config ecfg;
+    if (manual_epochs) {
+      ecfg.start_advancer = false;
+      ecfg.flusher_threads = 1;
+    }
+    es = std::make_unique<epoch::EpochSys>(*pa, ecfg);
+  }
+
+  std::unique_ptr<nvm::Device> dev;
+  std::unique_ptr<alloc::PAllocator> pa;
+  std::unique_ptr<epoch::EpochSys> es;
+};
+
+svc::KVStoreConfig small_cfg(svc::Backend b) {
+  svc::KVStoreConfig cfg;
+  cfg.backend = b;
+  cfg.shards = 1;
+  cfg.workers = 1;
+  cfg.clients = 1;
+  cfg.queue_capacity = 64;
+  cfg.max_batch = 8;
+  cfg.shard_opt.veb_ubits = 12;
+  return cfg;
+}
+
+const svc::Backend kAllBackends[] = {
+    svc::Backend::kVebTree, svc::Backend::kSkiplist, svc::Backend::kHash};
+
+TEST(Svc, SpscQueueBasics) {
+  svc::SpscQueue<int*> q(5);  // rounds up to 8
+  EXPECT_EQ(q.capacity(), 8u);
+  int vals[8];
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(&vals[i]));
+  int extra;
+  EXPECT_FALSE(q.try_push(&extra)) << "9th push into capacity-8 ring";
+  int* out = nullptr;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_pop(&out));
+    EXPECT_EQ(out, &vals[i]) << "FIFO order";
+  }
+  EXPECT_FALSE(q.try_pop(&out));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Svc, SyncOpsAllBackends) {
+  for (svc::Backend b : kAllBackends) {
+    SvcWorld w;
+    svc::KVStore store(*w.es, small_cfg(b));
+    EXPECT_EQ(store.get(0, 7).status, svc::Status::kNotFound);
+    auto put = store.put(0, 7, 70);
+    EXPECT_EQ(put.status, svc::Status::kOk);
+    EXPECT_TRUE(put.applied) << "fresh insert";
+    auto got = store.get(0, 7);
+    EXPECT_EQ(got.status, svc::Status::kOk);
+    EXPECT_EQ(got.value, 70u);
+    auto upd = store.put(0, 7, 71);
+    EXPECT_EQ(upd.status, svc::Status::kOk);
+    EXPECT_FALSE(upd.applied) << "update of existing key";
+    EXPECT_EQ(store.get(0, 7).value, 71u);
+    EXPECT_EQ(store.remove(0, 7).status, svc::Status::kOk);
+    EXPECT_EQ(store.remove(0, 7).status, svc::Status::kNotFound);
+    store.close();
+  }
+}
+
+TEST(Svc, EmptyBatchAndIdleClose) {
+  SvcWorld w;
+  svc::KVStore store(*w.es, small_cfg(svc::Backend::kHash));
+  // A zero-op apply_batch under a caller envelope must be a no-op.
+  epoch::run_envelope(*w.es, 0, [&](std::size_t, std::size_t n) {
+    store.shard(0).apply_batch(nullptr, n);
+  });
+  store.close();
+  EXPECT_EQ(store.completed_total(), 0u);
+  EXPECT_EQ(store.rejected_on_close_total(), 0u);
+}
+
+TEST(Svc, OneShardSkew) {
+  // Every key routed to the same shard: the other shards stay idle and
+  // nothing deadlocks or misroutes.
+  SvcWorld w;
+  svc::KVStoreConfig cfg = small_cfg(svc::Backend::kHash);
+  cfg.shards = 4;
+  svc::KVStore store(*w.es, cfg);
+  std::vector<std::uint64_t> skewed;
+  for (std::uint64_t k = 0; skewed.size() < 64; ++k) {
+    if (store.shard_of(k) == 0) skewed.push_back(k);
+  }
+  for (std::uint64_t k : skewed) {
+    EXPECT_EQ(store.put(0, k, k * 3).status, svc::Status::kOk);
+  }
+  for (std::uint64_t k : skewed) {
+    auto r = store.get(0, k);
+    EXPECT_EQ(r.status, svc::Status::kOk);
+    EXPECT_EQ(r.value, k * 3);
+  }
+  store.close();
+  EXPECT_EQ(store.completed_total(), skewed.size() * 2);
+}
+
+TEST(Svc, CrossShardPerKeyOrdering) {
+  // One client, pipelined flights spanning all shards: every per-key
+  // op sequence must apply in submission order even when the worker
+  // splits a flight into per-shard groups.
+  SvcWorld w;
+  svc::KVStoreConfig cfg = small_cfg(svc::Backend::kHash);
+  cfg.shards = 4;
+  cfg.max_batch = 16;
+  svc::KVStore store(*w.es, cfg);
+  constexpr int kKeys = 32;
+  std::map<std::uint64_t, std::optional<std::uint64_t>> oracle;
+  Rng rng(0x5eed);
+  std::vector<svc::Request> flight(16);
+  for (int round = 0; round < 50; ++round) {
+    for (auto& r : flight) {
+      const std::uint64_t k = rng.next_below(kKeys);
+      switch (rng.next_below(3)) {
+        case 0:
+          r = svc::Request::put(k, round * 1000 + k);
+          oracle[k] = round * 1000 + k;
+          break;
+        case 1:
+          r = svc::Request::del(k);
+          oracle[k] = std::nullopt;
+          break;
+        default:
+          r = svc::Request::get(k);
+          break;
+      }
+      ASSERT_TRUE(store.submit(0, &r));
+    }
+    for (auto& r : flight) store.wait(&r);
+  }
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    auto r = store.get(0, k);
+    const auto it = oracle.find(k);
+    const bool expect = it != oracle.end() && it->second.has_value();
+    EXPECT_EQ(r.status == svc::Status::kOk, expect) << "key " << k;
+    if (expect) {
+      EXPECT_EQ(r.value, *it->second) << "key " << k;
+    }
+  }
+  store.close();
+}
+
+TEST(Svc, BatchMatchesSequentialOracleAllBackends) {
+  // 1 client + 1 worker + 1 shard: execution order equals submission
+  // order, so every per-op result (ok flag, read value) must match a
+  // std::map replay exactly.
+  for (svc::Backend b : kAllBackends) {
+    SvcWorld w;
+    svc::KVStoreConfig cfg = small_cfg(b);
+    cfg.max_batch = 8;
+    // Tiny directory so batches straddle BD-Spash bucket splits.
+    cfg.shard_opt.hash_initial_depth = 1;
+    svc::KVStore store(*w.es, cfg);
+    std::map<std::uint64_t, std::uint64_t> oracle;
+    Rng rng(0xbeef ^ static_cast<std::uint64_t>(b));
+    std::vector<svc::Request> flight(8);
+    for (int round = 0; round < 150; ++round) {
+      struct Expect {
+        bool applied;
+        std::uint64_t value;
+        svc::Status status;
+      };
+      std::vector<Expect> want;
+      for (auto& r : flight) {
+        const std::uint64_t k = rng.next_below(512);
+        const auto dice = rng.next_below(4);
+        if (dice == 0) {
+          const auto it = oracle.find(k);
+          want.push_back({it != oracle.end(),
+                          it != oracle.end() ? it->second : 0,
+                          it != oracle.end() ? svc::Status::kOk
+                                             : svc::Status::kNotFound});
+          r = svc::Request::get(k);
+        } else if (dice == 1) {
+          const bool removed = oracle.erase(k) != 0;
+          want.push_back({removed, 0,
+                          removed ? svc::Status::kOk
+                                  : svc::Status::kNotFound});
+          r = svc::Request::del(k);
+        } else {
+          const std::uint64_t v = round * 4096 + k;
+          const bool fresh = oracle.find(k) == oracle.end();
+          oracle[k] = v;
+          want.push_back({fresh, 0, svc::Status::kOk});
+          r = svc::Request::put(k, v);
+        }
+        ASSERT_TRUE(store.submit(0, &r));
+      }
+      for (std::size_t i = 0; i < flight.size(); ++i) {
+        store.wait(&flight[i]);
+        const auto res = svc::KVStore::result_of(flight[i]);
+        ASSERT_EQ(res.status, want[i].status)
+            << svc::backend_name(b) << " round " << round << " op " << i;
+        ASSERT_EQ(res.applied, want[i].applied)
+            << svc::backend_name(b) << " round " << round << " op " << i;
+        if (flight[i].op.kind == epoch::BatchOp::Kind::kGet &&
+            res.status == svc::Status::kOk) {
+          ASSERT_EQ(res.value, want[i].value)
+              << svc::backend_name(b) << " round " << round << " op " << i;
+        }
+      }
+    }
+    EXPECT_GT(store.batches_total(), 0u);
+    store.close();
+  }
+}
+
+TEST(Svc, EnvelopeRestartRetriesStaleBatch) {
+  // Deterministic OldSeeNew: T1 pins an envelope at epoch e, the epoch
+  // advances, T2 stamps a block at e+1, then T1's batch touches that
+  // block. The structure must throw EnvelopeRestart and run_envelope
+  // must re-apply under a fresh epoch — observable as a second call of
+  // the apply callback and a correct final value.
+  SvcWorld w(/*manual_epochs=*/true);
+  svc::KVStoreConfig cfg = small_cfg(svc::Backend::kVebTree);
+  cfg.start_workers = false;  // direct shard access only
+  svc::KVStore store(*w.es, cfg);
+  auto& shard = store.shard(0);
+  ASSERT_TRUE(shard.insert(5, 50));
+
+  const std::uint64_t e0 = w.es->current_epoch();
+  std::atomic<int> phase{0};
+  int t1_applies = 0;
+  epoch::BatchOp op;
+  op.kind = epoch::BatchOp::Kind::kPut;
+  op.key = 5;
+  op.value = 55;
+  std::thread t1([&] {
+    epoch::run_envelope(*w.es, 1, [&](std::size_t first, std::size_t n) {
+      ++t1_applies;
+      if (t1_applies == 1) {
+        // Pinned at the pre-advance epoch; park here while the main
+        // thread advances and overwrites the key at the newer epoch.
+        EXPECT_EQ(w.es->current_op_epoch(), e0);
+        phase.store(1, std::memory_order_release);
+        while (phase.load(std::memory_order_acquire) != 2) {
+          std::this_thread::yield();
+        }
+      }
+      shard.apply_batch(&op + first, n);
+    });
+  });
+  while (phase.load(std::memory_order_acquire) != 1) {
+    std::this_thread::yield();
+  }
+  // One advance only: a second would block in step 1 waiting out t1's
+  // open envelope in e0. Current becomes e0+1; the overwrite stamps it.
+  w.es->advance();
+  ASSERT_FALSE(shard.insert(5, 51));  // overwrite at the newer epoch
+  phase.store(2, std::memory_order_release);
+  t1.join();
+
+  EXPECT_GE(t1_applies, 2) << "stale envelope must restart at least once";
+  auto got = shard.find(5);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 55u) << "t1's put is the last write";
+  store.close();
+}
+
+TEST(Svc, ScanMergesAcrossShardsOrderedBackends) {
+  for (svc::Backend b : {svc::Backend::kVebTree, svc::Backend::kSkiplist}) {
+    SvcWorld w;
+    svc::KVStoreConfig cfg = small_cfg(b);
+    cfg.shards = 2;
+    svc::KVStore store(*w.es, cfg);
+    for (std::uint64_t k = 0; k <= 100; ++k) {
+      ASSERT_EQ(store.put(0, k, k + 1000).status, svc::Status::kOk);
+    }
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    ASSERT_EQ(store.scan(10, 20, &out), svc::Status::kOk);
+    ASSERT_EQ(out.size(), 20u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i].first, 11 + i) << "strictly-greater, sorted, merged";
+      EXPECT_EQ(out[i].second, 11 + i + 1000);
+    }
+    // Tail clamp: fewer than max_out remain.
+    ASSERT_EQ(store.scan(95, 20, &out), svc::Status::kOk);
+    ASSERT_EQ(out.size(), 5u);
+    store.close();
+  }
+  SvcWorld w;
+  svc::KVStore store(*w.es, small_cfg(svc::Backend::kHash));
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  EXPECT_EQ(store.scan(0, 10, &out), svc::Status::kUnsupported);
+  store.close();
+}
+
+TEST(Svc, ShedOnFullQueue) {
+  SvcWorld w;
+  svc::KVStoreConfig cfg = small_cfg(svc::Backend::kHash);
+  cfg.queue_capacity = 8;
+  cfg.start_workers = false;  // nobody drains: pushes 9+ must shed
+  svc::KVStore store(*w.es, cfg);
+  std::vector<svc::Request> reqs(12);
+  int accepted = 0, shed = 0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i] = svc::Request::put(i, i);
+    if (store.submit(0, &reqs[i])) {
+      ++accepted;
+    } else {
+      ++shed;
+      EXPECT_EQ(reqs[i].status, svc::Status::kRejected);
+      EXPECT_EQ(reqs[i].state.load(), svc::Request::kDone)
+          << "shed requests resolve immediately";
+    }
+  }
+  EXPECT_EQ(accepted, 8);
+  EXPECT_EQ(shed, 4);
+  EXPECT_EQ(store.shed_total(), 4u);
+  store.close();
+  // The never-lost contract: close() resolves the queued 8 as rejected.
+  for (auto& r : reqs) {
+    EXPECT_EQ(r.state.load(), svc::Request::kDone);
+    EXPECT_EQ(r.status, svc::Status::kRejected);
+  }
+  EXPECT_EQ(store.rejected_on_close_total(), 8u);
+}
+
+TEST(Svc, CloseDrainsQueuedWork) {
+  // Requests queued before close() complete normally (drain), and a
+  // submit after close() resolves kClosed.
+  SvcWorld w;
+  svc::KVStore store(*w.es, small_cfg(svc::Backend::kHash));
+  std::vector<svc::Request> reqs(32);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i] = svc::Request::put(i, i * 2);
+    ASSERT_TRUE(store.submit(0, &reqs[i]));
+  }
+  store.close();
+  for (auto& r : reqs) {
+    EXPECT_EQ(r.state.load(), svc::Request::kDone);
+    EXPECT_TRUE(r.status == svc::Status::kOk ||
+                r.status == svc::Status::kRejected)
+        << "drained or swept, never lost";
+  }
+  svc::Request late = svc::Request::get(1);
+  EXPECT_FALSE(store.submit(0, &late));
+  EXPECT_EQ(late.status, svc::Status::kClosed);
+}
+
+TEST(Svc, DurableReleaseImpliesPersistence) {
+  SvcWorld w;
+  svc::KVStoreConfig cfg = small_cfg(svc::Backend::kHash);
+  cfg.release = svc::ReleasePolicy::kDurable;
+  svc::KVStore store(*w.es, cfg);
+  std::vector<svc::Request> reqs(8);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i] = svc::Request::put(i, i + 9);
+    ASSERT_TRUE(store.submit(0, &reqs[i]));
+  }
+  // close() drains: parked durable releases are pushed out by the
+  // worker advancing the epoch system (drain-then-advance).
+  store.close();
+  for (auto& r : reqs) {
+    ASSERT_EQ(r.state.load(), svc::Request::kDone);
+    ASSERT_EQ(r.status, svc::Status::kOk);
+    EXPECT_GT(r.complete_epoch, 0u);
+    EXPECT_GE(w.es->persisted_epoch(), r.complete_epoch + 2)
+        << "kDurable acknowledgement implies durability";
+  }
+}
+
+TEST(Svc, SubmitShutdownRace) {
+  // TSan target: clients hammer submit while the main thread closes the
+  // store. Every request that submit() accepted must resolve; requests
+  // racing past close() resolve kClosed or kRejected. Nothing is lost,
+  // nothing crashes, no data race.
+  SvcWorld w;
+  svc::KVStoreConfig cfg = small_cfg(svc::Backend::kHash);
+  cfg.clients = 4;
+  cfg.workers = 2;
+  cfg.shards = 2;
+  cfg.queue_capacity = 16;
+  svc::KVStore store(*w.es, cfg);
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> resolved{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(0x9999 + c);
+      std::vector<svc::Request> reqs(256);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (auto& r : reqs) {
+        const std::uint64_t k = rng.next_below(1024);
+        r = rng.next_below(2) == 0 ? svc::Request::put(k, k)
+                                   : svc::Request::get(k);
+        store.submit(c, &r);
+      }
+      for (auto& r : reqs) {
+        store.wait(&r);
+        resolved.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  store.close();  // races with the submissions above, by design
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(resolved.load(), 4u * 256u) << "every request resolved";
+}
+
+}  // namespace
+}  // namespace bdhtm

@@ -1,0 +1,275 @@
+// Service-layer crash consistency (DESIGN.md §10 + §5): a KVStore
+// driven through batched envelopes, crashed mid-run by a media-freeze
+// fault plan, must recover to a BDL-consistent prefix with zero
+// quarantines.
+//
+// The oracle does not rely on replaying an identical event stream (the
+// worker thread's allocations need not line up across worlds). Instead
+// the armed run itself records, for every acknowledged request, the
+// epoch its effects were stamped with (Request::complete_epoch, set by
+// the batch executor per envelope segment). After the crash the
+// recovered state must equal a sequential replay of exactly the
+// requests with complete_epoch <= recovery_frontier(persisted): with
+// one client, per-key execution order equals submission order, and
+// epochs are monotone along it, so the filter is the paper's consistent
+// prefix. Everything past the frontier — including whole batches cut
+// mid-epoch — must have rolled back wholesale.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "epoch/epoch_sys.hpp"
+#include "nvm/device.hpp"
+#include "svc/kvstore.hpp"
+
+namespace bdhtm {
+namespace {
+
+#if defined(__SANITIZE_THREAD__)
+#define BDHTM_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define BDHTM_TSAN 1
+#endif
+#endif
+
+using nvm::FaultEvent;
+using nvm::FaultPlan;
+using Oracle = std::map<std::uint64_t, std::uint64_t>;
+
+constexpr std::uint64_t kKeys = 256;  // small universe: full-sweep verify
+constexpr int kFlights = 12;
+constexpr int kFlightOps = 8;
+constexpr std::uint64_t kOpSeed = 0x5ca1ab1e;
+
+// Media-freeze triggers per event class; fractions of the profiled
+// total so they trip mid-run without requiring bit-exact replay.
+#ifdef BDHTM_TSAN
+constexpr int kTriggerFractions[] = {2};
+#else
+constexpr int kTriggerFractions[] = {4, 2, 1};  // total/4, total/2, 3/4
+#endif
+
+struct SvcFaultWorld {
+  explicit SvcFaultWorld(const FaultPlan* plan = nullptr) {
+    nvm::DeviceConfig dcfg;
+    dcfg.capacity = 16ull << 20;
+    dcfg.dirty_survival = 0.0;
+    dcfg.pending_survival = 0.0;
+    dev = std::make_unique<nvm::Device>(dcfg);
+    // Arm before any heap activity so trigger counts include formatting.
+    if (plan != nullptr) dev->arm_fault_plan(*plan);
+    pa = std::make_unique<alloc::PAllocator>(*dev);
+    epoch::EpochSys::Config ecfg;
+    ecfg.start_advancer = false;
+    ecfg.flusher_threads = 1;
+    es = std::make_unique<epoch::EpochSys>(*pa, ecfg);
+  }
+
+  void crash_and_attach() {
+    es.reset();
+    dev->simulate_crash();
+    pa = std::make_unique<alloc::PAllocator>(*dev,
+                                             alloc::PAllocator::Mode::kAttach);
+    epoch::EpochSys::Config ecfg;
+    ecfg.start_advancer = false;
+    ecfg.flusher_threads = 1;
+    ecfg.attach = true;
+    es = std::make_unique<epoch::EpochSys>(*pa, ecfg);
+  }
+
+  std::unique_ptr<nvm::Device> dev;
+  std::unique_ptr<alloc::PAllocator> pa;
+  std::unique_ptr<epoch::EpochSys> es;
+};
+
+svc::KVStoreConfig world_cfg(svc::Backend b, int shards) {
+  svc::KVStoreConfig cfg;
+  cfg.backend = b;
+  cfg.shards = shards;
+  cfg.workers = 1;
+  cfg.clients = 1;
+  cfg.queue_capacity = 64;
+  cfg.max_batch = kFlightOps;
+  cfg.shard_opt.veb_ubits = 8;
+  cfg.shard_opt.hash_initial_depth = 2;
+  return cfg;
+}
+
+struct LogEntry {
+  epoch::BatchOp::Kind kind;
+  std::uint64_t key;
+  std::uint64_t value;
+  std::uint64_t complete_epoch;
+};
+
+/// Drive the store through kFlights pipelined flights (mixed put /
+/// remove / get), advancing the epoch between flights while the worker
+/// is quiescent. Returns the acknowledged-op log in submission order.
+std::vector<LogEntry> drive_store(svc::KVStore& store,
+                                  epoch::EpochSys& es) {
+  std::vector<LogEntry> log;
+  Rng rng(kOpSeed);
+  std::vector<svc::Request> flight(kFlightOps);
+  for (int f = 0; f < kFlights; ++f) {
+    for (auto& r : flight) {
+      const std::uint64_t k = rng.next_below(kKeys);
+      switch (rng.next_below(4)) {
+        case 0:
+          r = svc::Request::del(k);
+          break;
+        case 1:
+          r = svc::Request::get(k);
+          break;
+        default:
+          r = svc::Request::put(k, 1 + rng.next_below(1u << 30));
+          break;
+      }
+      // Queue cap 64 >> flight 8: submission cannot shed.
+      EXPECT_TRUE(store.submit(0, &r));
+    }
+    for (auto& r : flight) {
+      store.wait(&r);
+      EXPECT_TRUE(r.status == svc::Status::kOk ||
+                  r.status == svc::Status::kNotFound);
+      if (r.op.kind != epoch::BatchOp::Kind::kGet) {
+        log.push_back({r.op.kind, r.op.key, r.op.value, r.complete_epoch});
+      }
+    }
+    es.advance();
+  }
+  return log;
+}
+
+/// Sequential replay of the acknowledged mutations whose stamp epoch is
+/// within the recovery frontier — the BDL-consistent prefix.
+Oracle replay_prefix(const std::vector<LogEntry>& log,
+                     std::uint64_t frontier) {
+  Oracle o;
+  for (const auto& e : log) {
+    if (e.complete_epoch > frontier) continue;
+    if (e.kind == epoch::BatchOp::Kind::kPut) {
+      o[e.key] = e.value;
+    } else {
+      o.erase(e.key);
+    }
+  }
+  return o;
+}
+
+void verify_store(svc::KVStore& store, const Oracle& expect,
+                  const char* what) {
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    auto got = store.shard(store.shard_of(k)).find(k);
+    const auto it = expect.find(k);
+    if (it != expect.end()) {
+      ASSERT_TRUE(got.has_value()) << what << ": lost key " << k;
+      ASSERT_EQ(*got, it->second) << what << ": wrong value for key " << k;
+    } else {
+      ASSERT_FALSE(got.has_value()) << what << ": phantom key " << k;
+    }
+  }
+}
+
+/// Clean profiling run: per-class device event totals for trigger
+/// placement (the oracle never depends on these being exact).
+void profile_events(svc::Backend b, int shards,
+                    std::uint64_t (&totals)[static_cast<int>(
+                        FaultEvent::kNumEvents)]) {
+  SvcFaultWorld w;
+  {
+    svc::KVStore store(*w.es, world_cfg(b, shards));
+    drive_store(store, *w.es);
+    store.close();
+  }
+  for (int c = 0; c < static_cast<int>(FaultEvent::kNumEvents); ++c) {
+    totals[c] = w.dev->fault_events(static_cast<FaultEvent>(c));
+  }
+}
+
+void crash_recover_check(svc::Backend b, int shards, FaultEvent event,
+                         std::uint64_t trigger, int recover_threads) {
+  FaultPlan plan;
+  plan.event = event;
+  plan.trigger_at = trigger;
+  SvcFaultWorld w(&plan);
+  std::vector<LogEntry> log;
+  {
+    svc::KVStore store(*w.es, world_cfg(b, shards));
+    log = drive_store(store, *w.es);
+    store.close();
+  }
+  ASSERT_TRUE(w.dev->fault_tripped())
+      << "plan (" << static_cast<int>(event) << ", " << trigger
+      << ") never tripped";
+  w.crash_and_attach();
+  const std::uint64_t frontier =
+      epoch::EpochSys::recovery_frontier(w.es->persisted_epoch());
+
+  svc::KVStoreConfig cfg = world_cfg(b, shards);
+  cfg.start_workers = false;  // verification goes through the shards
+  svc::KVStore store(*w.es, cfg);
+  store.recover(recover_threads);
+
+  const auto& rep = w.es->last_recovery();
+  EXPECT_EQ(rep.blocks_quarantined, 0u)
+      << "clean media-freeze crash must not quarantine blocks";
+  EXPECT_EQ(rep.checksum_failures, 0u);
+  EXPECT_EQ(rep.epoch_violations, 0u);
+
+  char what[96];
+  std::snprintf(what, sizeof what,
+                "%s shards=%d event=%d trigger=%llu frontier=%llu",
+                svc::backend_name(b), shards, static_cast<int>(event),
+                static_cast<unsigned long long>(trigger),
+                static_cast<unsigned long long>(frontier));
+  verify_store(store, replay_prefix(log, frontier), what);
+}
+
+void enumerate(svc::Backend b, int shards, int recover_threads) {
+  std::uint64_t totals[static_cast<int>(FaultEvent::kNumEvents)] = {};
+  profile_events(b, shards, totals);
+  for (int c = 0; c < static_cast<int>(FaultEvent::kNumEvents); ++c) {
+    const auto event = static_cast<FaultEvent>(c);
+    ASSERT_GT(totals[c], 0u)
+        << "drive generated no events of class " << c;
+    for (int frac : kTriggerFractions) {
+      // total/4 and total/2 from the start; "1" means 3/4 of the way in.
+      const std::uint64_t t = frac == 1 ? totals[c] - totals[c] / 4
+                                        : totals[c] / frac;
+      crash_recover_check(b, shards, event, t, recover_threads);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(SvcRecovery, HashOneShardAllEventClasses) {
+  enumerate(svc::Backend::kHash, 1, /*recover_threads=*/1);
+}
+
+TEST(SvcRecovery, HashTwoShardsParallelRelink) {
+  enumerate(svc::Backend::kHash, 2, /*recover_threads=*/2);
+}
+
+TEST(SvcRecovery, VebTreeMediaFreeze) {
+  std::uint64_t totals[static_cast<int>(FaultEvent::kNumEvents)] = {};
+  profile_events(svc::Backend::kVebTree, 1, totals);
+  const auto ev = FaultEvent::kEviction;
+  crash_recover_check(svc::Backend::kVebTree, 1, ev,
+                      totals[static_cast<int>(ev)] / 2, 1);
+}
+
+TEST(SvcRecovery, SkiplistMediaFreeze) {
+  std::uint64_t totals[static_cast<int>(FaultEvent::kNumEvents)] = {};
+  profile_events(svc::Backend::kSkiplist, 1, totals);
+  const auto ev = FaultEvent::kClwb;
+  crash_recover_check(svc::Backend::kSkiplist, 1, ev,
+                      totals[static_cast<int>(ev)] / 2, 1);
+}
+
+}  // namespace
+}  // namespace bdhtm

@@ -1,0 +1,19 @@
+// Known-bad: pNew inside a batch apply body. The service layer's batch
+// executor (DESIGN.md §10) runs several operations of one per-shard
+// group inside a single elided transaction; allocating mid-batch has the
+// same defect as allocating mid-op — allocator metadata persists
+// non-speculatively, so an abort (or an EnvelopeRestart of the batch)
+// leaks every block allocated by the rolled-back suffix. The recipe:
+// preallocate one block per pending op before entering the transaction.
+// txlint-expect: alloc-in-tx
+
+void apply_batch(htm::ElidedLock& lock, epoch::EpochSys& es, Map& m,
+                 BatchOp* ops, std::size_t n, std::uint64_t op_epoch) {
+  htm::elide<int>(lock, [&](auto& acc) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Node* nb = es.pNew<Node>(op_epoch);  // BUG: preallocate per op, outside
+      m.link(acc, ops[i].key, nb);
+    }
+    return 0;
+  });
+}

@@ -1,0 +1,19 @@
+// Known-bad: persisting from inside a batch apply body. Under one batch
+// envelope every store is speculative until the whole per-shard
+// transaction commits; a clwb mid-batch would leak the uncommitted
+// prefix to media (and aborts the transaction outright on real TSX).
+// Persistence belongs to the epoch advancer after the envelope's epoch
+// retires — the batch itself must only acc.store and stamp epochs.
+// txlint-expect: persist-in-tx
+
+void apply_batch(nvm::Device& dev, htm::ElidedLock& lock, Map& m,
+                 BatchOp* ops, std::size_t n) {
+  htm::elide<int>(lock, [&](auto& acc) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t* slot = m.slot_of(acc, ops[i].key);
+      acc.store(slot, ops[i].value);
+      dev.clwb(slot);  // BUG: the advancer flushes after the epoch retires
+    }
+    return 0;
+  });
+}
