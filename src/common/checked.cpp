@@ -54,6 +54,8 @@ const char* rule_name(Rule r) {
       return "irrevocable-in-tx";
     case Rule::kUnbalancedEpochOp:
       return "unbalanced-epoch-op";
+    case Rule::kFallbackStripeOrder:
+      return "fallback-stripe-order";
     case Rule::kNumRules:
       break;
   }

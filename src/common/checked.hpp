@@ -19,14 +19,15 @@
 
 namespace bdhtm::checked {
 
-/// The five protocol rules, named identically to txlint's diagnostics so
-/// a static finding and its runtime trap are trivially cross-referenced.
+/// The protocol rules, named identically to txlint's diagnostics so a
+/// static finding and its runtime trap are trivially cross-referenced.
 enum class Rule : int {
-  kPersistInTx = 0,     // "persist-in-tx"
-  kAllocInTx,           // "alloc-in-tx"
-  kRetireBeforeCommit,  // "retire-before-commit"
-  kIrrevocableInTx,     // "irrevocable-in-tx"
-  kUnbalancedEpochOp,   // "unbalanced-epoch-op"
+  kPersistInTx = 0,      // "persist-in-tx"
+  kAllocInTx,            // "alloc-in-tx"
+  kRetireBeforeCommit,   // "retire-before-commit"
+  kIrrevocableInTx,      // "irrevocable-in-tx"
+  kUnbalancedEpochOp,    // "unbalanced-epoch-op"
+  kFallbackStripeOrder,  // "fallback-stripe-order"
   kNumRules,
 };
 

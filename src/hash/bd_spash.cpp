@@ -26,12 +26,16 @@ std::uint64_t block_epoch(const void* payload) {
 }  // namespace
 
 BDSpash::BDSpash(epoch::EpochSys& es, int initial_depth,
-                 std::size_t value_block_bytes, PersistRouting routing)
+                 std::size_t value_block_bytes, PersistRouting routing,
+                 int fallback_stripes)
     : es_(es),
       dev_(es.device()),
       block_bytes_(std::max(value_block_bytes, sizeof(KVPair))),
       routing_(routing),
       initial_depth_(initial_depth),
+      // Clamp so stripe bits are a subset of the segment-routing bits:
+      // same segment => same stripe, for any future global depth.
+      policy_(std::min(fallback_stripes, 1 << initial_depth)),
       global_depth_(initial_depth) {
   init_directory(initial_depth);
   tctx_ = std::make_unique<Padded<ThreadCtx>[]>(kMaxThreads);
@@ -61,6 +65,10 @@ void BDSpash::reset_index() {
 
 BDSpash::~BDSpash() = default;
 
+htm::StripeMask BDSpash::footprint(std::uint64_t key) const {
+  return policy_.mask_of_hash(mix(key));
+}
+
 BDSpash::Segment* BDSpash::make_segment(std::uint64_t depth) {
   auto seg = std::make_unique<Segment>();
   seg->local_depth = depth;
@@ -82,64 +90,36 @@ BDSpash::Bucket& BDSpash::locate(Acc& acc, std::uint64_t h) {
   return seg->buckets[(h >> 48) & (kBucketsPerSegment - 1)];
 }
 
-// Listing 1 retry structure shared by insert and remove.
+// Listing 1 retry structure shared by insert and remove, built on the
+// shared policy-aware retry loop: the transaction subscribes to h's
+// stripe footprint; kFullBucket / OldSeeNewException surface as
+// FallbackRestart from both the transactional and fallback paths.
 template <typename Body, typename Prep>
 bool BDSpash::mutate(std::uint64_t h, Body&& body, Prep&& prep) {
+  const htm::StripeMask mask = policy_.mask_of_hash(h);
+  htm::ElideOptions opts;
+  opts.max_retries = kMaxTxnRetries;
   for (;;) {  // retry_regist
     const std::uint64_t op_epoch = es_.beginOp();
     prep(op_epoch);
     OpCtl ctl;
-    bool committed = false;
     bool restart_epoch = false;
 
-    for (int attempt = 0; attempt < kMaxTxnRetries; ++attempt) {
-      const unsigned st = htm::run([&](htm::Txn& tx) {
-        lock_.subscribe(tx, htm::kLockedCode);
-        ctl = OpCtl{};
-        htm::TxAccess acc{tx};
-        body(acc, op_epoch, ctl);
-      });
-      if (st == htm::kCommitted) {
-        committed = true;
-        break;
-      }
-      if (st & htm::kAbortExplicit) {
-        const std::uint8_t code = htm::explicit_code(st);
-        if (code == kOldSeeNewException) {
-          restart_epoch = true;
-          break;
-        }
-        if (code == kFullBucket) {
-          committed = true;  // handled below via ctl.full
-          ctl.full = true;
-          break;
-        }
-        if (code == htm::kLockedCode) {
-          lock_.wait_until_free();
-          continue;
-        }
-      }
-      if (st & htm::kAbortMemtype) {
-        htm::prewalk_hint();
-        continue;
-      }
-    }
-
-    if (!committed && !restart_epoch) {
-      htm::FallbackGuard guard(lock_);
-      try {
-        ctl = OpCtl{};
-        htm::NontxAccess acc;
-        body(acc, op_epoch, ctl);
-        committed = true;
-      } catch (const htm::FallbackRestart& fr) {
-        if (fr.code == kFullBucket) {
-          committed = true;
-          ctl.full = true;
-        } else {
-          assert(fr.code == kOldSeeNewException);
-          restart_epoch = true;
-        }
+    try {
+      htm::elide<bool>(
+          policy_, mask,
+          [&](auto& acc) -> bool {
+            ctl = OpCtl{};
+            body(acc, op_epoch, ctl);
+            return true;
+          },
+          opts);
+    } catch (const htm::FallbackRestart& fr) {
+      if (fr.code == kFullBucket) {
+        ctl.full = true;
+      } else {
+        assert(fr.code == kOldSeeNewException);
+        restart_epoch = true;
       }
     }
 
@@ -305,7 +285,7 @@ std::optional<std::uint64_t> BDSpash::find(std::uint64_t key) {
   hotspot_.touch(h);
   es_.beginOp();  // pin the epoch against reclamation
   OpCtl ctl;
-  htm::elide<bool>(lock_, [&](auto& acc) -> bool {
+  htm::elide<bool>(policy_, policy_.mask_of_hash(h), [&](auto& acc) -> bool {
     ctl = OpCtl{};
     get_in_tx(acc, h, key, ctl);
     return true;
@@ -316,7 +296,11 @@ std::optional<std::uint64_t> BDSpash::find(std::uint64_t key) {
 }
 
 void BDSpash::split(std::uint64_t h) {
-  htm::FallbackGuard guard(lock_);
+  // Splits rewrite dir_ptr_/global_depth_/directory entries that every
+  // locate() reads, so they exclude all fast paths and fallbacks by
+  // taking every stripe (ascending order — deadlock-free against
+  // concurrent ops and other splits).
+  htm::PolicyGuard guard(policy_, policy_.all());
   const std::uint64_t gd = htm::nontx_load(&global_depth_);
   auto* dir = reinterpret_cast<std::uint64_t*>(htm::nontx_load(&dir_ptr_));
   const std::uint64_t idx = h & ((std::uint64_t{1} << gd) - 1);
@@ -400,11 +384,17 @@ void BDSpash::apply_batch(epoch::BatchOp* ops, std::size_t n) {
   }
   tc.ctls.assign(n, OpCtl{});
 
+  // The batch touches every op's segment, so the footprint is the union
+  // of the per-op stripes (splits only change layout within those
+  // segments' routing bits, never the masks themselves).
+  htm::StripeMask mask = 0;
+  for (std::size_t i = 0; i < n; ++i) mask |= policy_.mask_of_hash(mix(ops[i].key));
+
   std::size_t fb_applied = 0;  // fallback-committed prefix (see PHTMvEB)
   std::uint64_t fail_h = 0;    // plain write before the abort survives it
   for (;;) {
     try {
-      htm::elide<bool>(lock_, [&](auto& acc) -> bool {
+      htm::elide<bool>(policy_, mask, [&](auto& acc) -> bool {
         using AccT = std::decay_t<decltype(acc)>;
         for (std::size_t i = fb_applied; i < n; ++i) {
           OpCtl& ctl = tc.ctls[i];
@@ -479,7 +469,8 @@ void BDSpash::finish_batch(epoch::BatchOp* ops, std::size_t m,
 void BDSpash::link_one_recovered(KVPair* kv) {
   const std::uint64_t key = kv->key;
   const std::uint64_t h = mix(key);
-  KVPair* loser = htm::elide<KVPair*>(lock_, [&](auto& acc) -> KVPair* {
+  KVPair* loser = htm::elide<KVPair*>(
+      policy_, policy_.mask_of_hash(h), [&](auto& acc) -> KVPair* {
     Bucket& b = locate(acc, h);
     int free_slot = -1;
     for (int i = 0; i < kSlotsPerBucket; ++i) {

@@ -28,6 +28,7 @@
 #include "epoch/kvpair.hpp"
 #include "hash/hotspot.hpp"
 #include "htm/engine.hpp"
+#include "htm/fallback.hpp"
 
 namespace bdhtm::hash {
 
@@ -45,9 +46,16 @@ class BDSpash {
   /// `value_block_bytes` sizes the NVM blocks (>= sizeof(KVPair)); blocks
   /// of at least one XPLine that the detector classifies cold are
   /// persisted immediately instead of buffered.
+  ///
+  /// `fallback_stripes` selects the fallback policy (DESIGN.md §11):
+  /// 1 = the classic global elided lock; >1 = fine-grained stripes keyed
+  /// by the segment-selecting low hash bits, clamped to 2^initial_depth
+  /// so two keys in the same segment always share a stripe (the
+  /// directory only ever grows past initial_depth, never below it).
   explicit BDSpash(epoch::EpochSys& es, int initial_depth = 4,
                    std::size_t value_block_bytes = sizeof(epoch::KVPair),
-                   PersistRouting routing = PersistRouting::kHybrid);
+                   PersistRouting routing = PersistRouting::kHybrid,
+                   int fallback_stripes = 1);
   ~BDSpash();
 
   bool insert(std::uint64_t key, std::uint64_t value);
@@ -74,6 +82,13 @@ class BDSpash {
 
   std::uint64_t nvm_bytes() const { return es_.allocator().bytes_in_use(); }
   epoch::EpochSys& epoch_sys() { return es_; }
+
+  /// The structure's fallback policy and the published subscription
+  /// footprint of an op on `key` (DESIGN.md §11) — what the fast path
+  /// subscribes to and a fallback on that key acquires. Exposed for
+  /// tests and for benchmarks that inject fallback hold windows.
+  htm::FallbackPolicy& fallback_policy() { return policy_; }
+  htm::StripeMask footprint(std::uint64_t key) const;
 
   static constexpr int kSlotsPerBucket = 16;
   static constexpr int kBucketsPerSegment = 16;
@@ -133,7 +148,10 @@ class BDSpash {
   std::size_t block_bytes_;
   PersistRouting routing_;
   int initial_depth_;
-  htm::ElidedLock lock_;
+  // Fallback footprint rule: an op on hash h touches only h's segment
+  // (plus directory reads), so its mask is mask_of_hash(h); split()
+  // rewrites the directory every locate() reads and takes all().
+  htm::FallbackPolicy policy_;
   HotspotDetector hotspot_;
   std::uint64_t global_depth_;
   std::unique_ptr<std::uint64_t[]> dir_;

@@ -55,6 +55,14 @@ struct HtmCounters {
   obs::Counter& fallbacks;
   obs::Counter& fallbacks_lockwait;
   obs::Counter& fallbacks_exhausted;
+  // Stripe-level fallback metrics plus the per-policy split of the
+  // lock_subscription bucket (htm/fallback.hpp): the bucket above counts
+  // both convention codes, these attribute them to the policy that raised
+  // them so fig11 can compare global vs. striped from one run's counters.
+  obs::Counter& stripes_acquired;
+  obs::Counter& lock_subscription_global;
+  obs::Counter& lock_subscription_striped;
+  obs::Histogram& stripe_wait_ns;
 };
 
 HtmCounters& cnt() {
@@ -71,6 +79,10 @@ HtmCounters& cnt() {
       obs::Registry::global().counter("htm.fallback.total"),
       obs::Registry::global().counter("htm.fallback.lock_wait"),
       obs::Registry::global().counter("htm.fallback.retry_exhausted"),
+      obs::Registry::global().counter("htm.fallback.stripes_acquired"),
+      obs::Registry::global().counter("htm.abort.lock_subscription.global"),
+      obs::Registry::global().counter("htm.abort.lock_subscription.striped"),
+      obs::Registry::global().histogram("htm.fallback.stripe_wait_ns"),
   };
   return c;
 }
@@ -386,6 +398,11 @@ bool nontx_cas_word(std::uintptr_t word_addr, std::uint64_t expected,
   return ok;
 }
 
+std::size_t txn_tracked_access_count() {
+  TxCtx& c = ctx();
+  return c.active ? c.read_set.size() + c.write_set.size() : 0;
+}
+
 void note_abort(TxCtx& c, unsigned status) {
   HtmCounters& m = cnt();
   if (status & kAbortPersist) {
@@ -398,6 +415,10 @@ void note_abort(TxCtx& c, unsigned status) {
     const std::uint8_t code = explicit_code(status);
     if (code == kLockSubscriptionCode) {
       m.lock_subscription.add_at(c.tid);
+      m.lock_subscription_global.add_at(c.tid);
+    } else if (code == kStripedLockSubscriptionCode) {
+      m.lock_subscription.add_at(c.tid);
+      m.lock_subscription_striped.add_at(c.tid);
     } else if (code == kOldSeeNewCode) {
       m.old_see_new.add_at(c.tid);
     } else {
@@ -434,6 +455,7 @@ TxStats collect_stats() {
   out.fallback_acquisitions = m.fallbacks.total();
   out.fallbacks_lockwait = m.fallbacks_lockwait.total();
   out.fallbacks_exhausted = m.fallbacks_exhausted.total();
+  out.fallback_stripes_acquired = m.stripes_acquired.total();
   return out;
 }
 
@@ -451,11 +473,21 @@ void reset_stats() {
   m.fallbacks.reset();
   m.fallbacks_lockwait.reset();
   m.fallbacks_exhausted.reset();
+  m.stripes_acquired.reset();
+  m.lock_subscription_global.reset();
+  m.lock_subscription_striped.reset();
+  m.stripe_wait_ns.reset();
 }
 
 void note_fallback() { cnt().fallbacks.add(); }
 void note_fallback_lockwait() { cnt().fallbacks_lockwait.add(); }
 void note_fallback_exhausted() { cnt().fallbacks_exhausted.add(); }
+
+void note_fallback_stripes(int n, std::uint64_t wait_ns) {
+  HtmCounters& m = cnt();
+  m.stripes_acquired.add(static_cast<std::uint64_t>(n));
+  m.stripe_wait_ns.record(wait_ns);
+}
 
 bool in_txn() { return detail::ctx().active; }
 

@@ -76,6 +76,18 @@ constexpr std::uint8_t explicit_code(unsigned status) {
 // contention from algorithmic restarts.
 inline constexpr std::uint8_t kLockSubscriptionCode = 0x52;
 inline constexpr std::uint8_t kOldSeeNewCode = 0x51;
+/// Lock-subscription abort raised by the STRIPED fallback policy
+/// (htm/fallback.hpp). Same meaning as kLockSubscriptionCode — a
+/// subscribed elided lock word was held — but carrying its own code lets
+/// the taxonomy attribute contention per policy (global vs. striped).
+inline constexpr std::uint8_t kStripedLockSubscriptionCode = 0x53;
+
+/// True for either of the lock-subscription convention codes; retry loops
+/// treat both as "a fallback holder is in the way", not a failed attempt.
+constexpr bool is_lock_subscription_code(std::uint8_t code) {
+  return code == kLockSubscriptionCode ||
+         code == kStripedLockSubscriptionCode;
+}
 
 struct EngineConfig {
   // L1-like speculative capacity: 32 KiB of write lines, a larger
@@ -111,6 +123,10 @@ struct TxStats {
   /// tell these apart — only the retry loop knows why it gave up.
   std::uint64_t fallbacks_lockwait = 0;
   std::uint64_t fallbacks_exhausted = 0;
+  /// Stripe locks taken across all fallback acquisitions (==
+  /// fallback_acquisitions under the global policy, whose footprint is
+  /// always the single lock word; larger under striped policies).
+  std::uint64_t fallback_stripes_acquired = 0;
 
   std::uint64_t total_aborts() const {
     return aborts_conflict + aborts_capacity + aborts_explicit +
@@ -133,6 +149,10 @@ void note_fallback();
 /// lock-wait bound was hit (contention) vs. the retry budget ran out.
 void note_fallback_lockwait();
 void note_fallback_exhausted();
+/// Stripe-level fallback accounting (htm/fallback.hpp): `n` stripe locks
+/// acquired in one fallback acquisition that took `wait_ns` to complete
+/// (htm.fallback.stripes_acquired / htm.fallback.stripe_wait_ns).
+void note_fallback_stripes(int n, std::uint64_t wait_ns);
 
 /// True while the calling thread executes inside run().
 bool in_txn();
@@ -177,6 +197,12 @@ std::uint64_t nontx_load_word(std::uintptr_t word_addr);
 void nontx_store_word(std::uintptr_t word_addr, std::uint64_t value);
 bool nontx_cas_word(std::uintptr_t word_addr, std::uint64_t expected,
                     std::uint64_t desired);
+
+/// Tracked accesses (distinct read stripes + write words) of the calling
+/// thread's current transaction; 0 outside a transaction. Checked builds
+/// use this to enforce subscribe-before-first-tracked-access
+/// (fallback-stripe-order, DESIGN.md §11).
+std::size_t txn_tracked_access_count();
 
 }  // namespace detail
 
@@ -316,6 +342,14 @@ class ElidedLock {
   }
 
   void acquire() {
+    acquire_raw();
+    note_fallback();
+  }
+
+  /// Bare acquisition without the fallback-acquisition count: a striped
+  /// FallbackPolicy (htm/fallback.hpp) takes several of these per logical
+  /// fallback and counts the acquisition once itself.
+  void acquire_raw() {
     // Taking the fallback lock inside a transaction is the classic
     // lock-elision deadlock: the acquisition conflicts with every
     // subscribed transaction — including this one. Transactions
@@ -327,7 +361,6 @@ class ElidedLock {
     const auto a = reinterpret_cast<std::uintptr_t>(&word_);
     for (;;) {
       if (detail::nontx_cas_word(a, 0, 1)) {
-        note_fallback();
         return;
       }
       while (__atomic_load_n(&word_, __ATOMIC_RELAXED) != 0) {

@@ -14,6 +14,7 @@
 #include "common/threading.hpp"
 #include "htm/access.hpp"
 #include "htm/engine.hpp"
+#include "htm/fallback.hpp"
 
 namespace bdhtm::htm {
 
@@ -61,7 +62,7 @@ template <typename R, typename Body>
 R elide(ElidedLock& lock, Body&& body, const ElideOptions& opts = {}) {
   std::uint32_t delay_ns = opts.backoff_min_ns;
   int lock_waits = 0;
-  bool lockwait_fallback = false;
+  bool last_abort_was_lock = false;
   for (int attempt = 0; attempt < opts.max_retries;) {
     R result{};
     const unsigned st = run([&](Txn& tx) {
@@ -77,13 +78,12 @@ R elide(ElidedLock& lock, Body&& body, const ElideOptions& opts = {}) {
       // avoid — a convoy of waiters all exhausting their budgets at once.
       // A separate (generous) bound keeps a thread from waiting forever
       // behind a steady stream of fallback holders.
-      if (++lock_waits >= opts.max_lock_waits) {
-        lockwait_fallback = true;
-        break;
-      }
+      last_abort_was_lock = true;
+      if (++lock_waits >= opts.max_lock_waits) break;
       lock.wait_until_free();
       continue;
     }
+    last_abort_was_lock = false;
     lock_waits = 0;
     if (st & kAbortExplicit) {
       // Algorithmic abort (e.g. OldSeeNewException): surface it like the
@@ -97,21 +97,83 @@ R elide(ElidedLock& lock, Body&& body, const ElideOptions& opts = {}) {
       prewalk_hint();
       continue;
     }
-    // Conflict / capacity / spurious: bounded exponential backoff with
-    // jitter before retrying.
-    if (delay_ns > 0) {
+    // Conflict / spurious: bounded exponential backoff with jitter —
+    // its only job is de-synchronizing peers that keep aborting each
+    // other. A capacity abort is deterministic for a fixed footprint:
+    // no amount of waiting shrinks the write set, so retry immediately
+    // and reach the fallback (the only cure) sooner instead of paying
+    // the full backoff ladder on the way to certain exhaustion.
+    if ((st & kAbortCapacity) == 0 && delay_ns > 0) {
       spin_for_ns(delay_ns / 2 + detail::retry_jitter(delay_ns));
       delay_ns = std::min(delay_ns * 2, opts.backoff_max_ns);
     }
   }
-  // Attribute the fallback to its cause before taking the lock — only
-  // this loop knows whether contention or the retry budget drove it.
-  if (lockwait_fallback) {
+  // Attribute the fallback to its cause before taking the lock: a final
+  // lock-subscription abort means contention drove us here, even if the
+  // retry budget happened to run out on the same pass — only the cause
+  // of the LAST abort says why progress ultimately stalled.
+  if (last_abort_was_lock) {
     note_fallback_lockwait();
   } else {
     note_fallback_exhausted();
   }
   FallbackGuard guard(lock);
+  NontxAccess acc;
+  return body(acc);
+}
+
+/// Policy-aware elision (DESIGN.md §11): identical protocol to the
+/// ElidedLock overload, but the transaction subscribes only to the
+/// stripes in `mask` and the fallback acquires exactly those stripes in
+/// canonical order. With a 1-stripe (global) policy and mask=all() this
+/// is behaviourally identical to elide(ElidedLock&, ...). The mask must
+/// cover the body's full footprint per the owning structure's rules.
+template <typename R, typename Body>
+R elide(FallbackPolicy& policy, StripeMask mask, Body&& body,
+        const ElideOptions& opts = {}) {
+  std::uint32_t delay_ns = opts.backoff_min_ns;
+  int lock_waits = 0;
+  bool last_abort_was_lock = false;
+  for (int attempt = 0; attempt < opts.max_retries;) {
+    R result{};
+    const unsigned st = run([&](Txn& tx) {
+      policy.subscribe(tx, mask);
+      TxAccess acc{tx};
+      result = body(acc);
+    });
+    if (st == kCommitted) return result;
+    if ((st & kAbortExplicit) &&
+        is_lock_subscription_code(explicit_code(st))) {
+      last_abort_was_lock = true;
+      if (++lock_waits >= opts.max_lock_waits) break;
+      policy.wait_until_free(mask);
+      continue;
+    }
+    last_abort_was_lock = false;
+    lock_waits = 0;
+    if (st & kAbortExplicit) {
+      throw FallbackRestart{explicit_code(st)};
+    }
+    ++attempt;
+    if (st & kAbortMemtype) {
+      if (opts.prewalk != nullptr) opts.prewalk(opts.prewalk_ctx);
+      prewalk_hint();
+      continue;
+    }
+    // Capacity aborts retry without backoff (see the ElidedLock
+    // overload: backoff cannot shrink a write set).
+    if ((st & kAbortCapacity) == 0 && delay_ns > 0) {
+      spin_for_ns(delay_ns / 2 + detail::retry_jitter(delay_ns));
+      delay_ns = std::min(delay_ns * 2, opts.backoff_max_ns);
+    }
+  }
+  // Attribute by last-abort cause (see the ElidedLock overload).
+  if (last_abort_was_lock) {
+    note_fallback_lockwait();
+  } else {
+    note_fallback_exhausted();
+  }
+  PolicyGuard guard(policy, mask);
   NontxAccess acc;
   return body(acc);
 }

@@ -14,9 +14,10 @@ std::uint64_t block_epoch(const KVPair* kv) {
 }
 }  // namespace
 
-BDLSkiplist::BDLSkiplist(epoch::EpochSys& es)
+BDLSkiplist::BDLSkiplist(epoch::EpochSys& es, int fallback_stripes)
     : es_(es),
       dev_(es.device()),
+      mw_(/*max_retries=*/16, fallback_stripes),
       base_(std::make_unique<Base>(DramOps{mw_})),
       tctx_(std::make_unique<Padded<ThreadCtx>[]>(kMaxThreads)) {}
 
@@ -223,6 +224,19 @@ std::optional<std::pair<std::uint64_t, std::uint64_t>> BDLSkiplist::successor(
 
 void BDLSkiplist::reset_index() {
   base_ = std::make_unique<Base>(DramOps{mw_});
+}
+
+htm::FallbackPolicy& BDLSkiplist::fallback_policy() {
+  return mw_.fallback_policy();
+}
+
+htm::StripeMask BDLSkiplist::footprint(std::uint64_t key) const {
+  // Representative two-word link update (prev->next + node word); the
+  // real per-op footprint hashes tower-word addresses, unknowable before
+  // the search. See the header comment.
+  const htm::FallbackPolicy& pol = mw_.fallback_policy();
+  return pol.mask_of_hash(splitmix64(key)) |
+         pol.mask_of_hash(splitmix64(key ^ 0x9e3779b97f4a7c15ULL));
 }
 
 void BDLSkiplist::relink_recovered(KVPair* kv,

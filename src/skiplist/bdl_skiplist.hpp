@@ -32,7 +32,11 @@ namespace bdhtm::skiplist {
 
 class BDLSkiplist {
  public:
-  explicit BDLSkiplist(epoch::EpochSys& es);
+  /// `fallback_stripes` selects the fallback policy of the internal
+  /// HTM-MwCAS (DESIGN.md §11): link updates stripe by word address, so
+  /// tower updates in disjoint regions stop serializing on one global
+  /// fallback lock. 1 = global (default).
+  explicit BDLSkiplist(epoch::EpochSys& es, int fallback_stripes = 1);
   ~BDLSkiplist();
 
   /// Insert or update; returns true if the key was newly inserted.
@@ -63,6 +67,15 @@ class BDLSkiplist {
 
   std::uint64_t nvm_bytes() const { return es_.allocator().bytes_in_use(); }
   epoch::EpochSys& epoch_sys() { return es_; }
+
+  /// The internal HTM-MwCAS's fallback policy (DESIGN.md §11), plus a
+  /// REPRESENTATIVE footprint for ops on `key`: link updates stripe by
+  /// tower-word address, which is unknowable before the search, so this
+  /// models a typical two-word link update by hashing the key. Exposed
+  /// for tests and fallback-contention benchmarks; not a soundness
+  /// contract like the elided structures' footprints.
+  htm::FallbackPolicy& fallback_policy();
+  htm::StripeMask footprint(std::uint64_t key) const;
 
  private:
   struct DramOps {

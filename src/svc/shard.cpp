@@ -23,7 +23,7 @@ namespace {
 class VebShard final : public ShardIndex {
  public:
   VebShard(epoch::EpochSys& es, const ShardOptions& opt)
-      : t_(es, opt.veb_ubits) {}
+      : t_(es, opt.veb_ubits, opt.fallback_stripes) {}
   bool insert(std::uint64_t k, std::uint64_t v) override {
     return t_.insert(k, v);
   }
@@ -42,6 +42,12 @@ class VebShard final : public ShardIndex {
   void reset_index() override { t_.reset_index(); }
   void relink_recovered(epoch::KVPair* kv, std::uint64_t ce) override {
     t_.relink_recovered(kv, ce);
+  }
+  htm::FallbackPolicy& fallback_policy() override {
+    return t_.fallback_policy();
+  }
+  htm::StripeMask footprint(std::uint64_t key) const override {
+    return t_.footprint(key);
   }
 
  private:
@@ -50,7 +56,8 @@ class VebShard final : public ShardIndex {
 
 class SkiplistShard final : public ShardIndex {
  public:
-  explicit SkiplistShard(epoch::EpochSys& es) : t_(es) {}
+  SkiplistShard(epoch::EpochSys& es, const ShardOptions& opt)
+      : t_(es, opt.fallback_stripes) {}
   bool insert(std::uint64_t k, std::uint64_t v) override {
     return t_.insert(k, v);
   }
@@ -69,6 +76,12 @@ class SkiplistShard final : public ShardIndex {
   void reset_index() override { t_.reset_index(); }
   void relink_recovered(epoch::KVPair* kv, std::uint64_t ce) override {
     t_.relink_recovered(kv, ce);
+  }
+  htm::FallbackPolicy& fallback_policy() override {
+    return t_.fallback_policy();
+  }
+  htm::StripeMask footprint(std::uint64_t key) const override {
+    return t_.footprint(key);
   }
 
  private:
@@ -78,7 +91,8 @@ class SkiplistShard final : public ShardIndex {
 class HashShard final : public ShardIndex {
  public:
   HashShard(epoch::EpochSys& es, const ShardOptions& opt)
-      : t_(es, opt.hash_initial_depth) {}
+      : t_(es, opt.hash_initial_depth, sizeof(epoch::KVPair),
+           hash::BDSpash::PersistRouting::kHybrid, opt.fallback_stripes) {}
   bool insert(std::uint64_t k, std::uint64_t v) override {
     return t_.insert(k, v);
   }
@@ -98,6 +112,12 @@ class HashShard final : public ShardIndex {
   void relink_recovered(epoch::KVPair* kv, std::uint64_t ce) override {
     t_.relink_recovered(kv, ce);
   }
+  htm::FallbackPolicy& fallback_policy() override {
+    return t_.fallback_policy();
+  }
+  htm::StripeMask footprint(std::uint64_t key) const override {
+    return t_.footprint(key);
+  }
 
  private:
   hash::BDSpash t_;
@@ -111,7 +131,7 @@ std::unique_ptr<ShardIndex> make_shard(Backend b, epoch::EpochSys& es,
     case Backend::kVebTree:
       return std::make_unique<VebShard>(es, opt);
     case Backend::kSkiplist:
-      return std::make_unique<SkiplistShard>(es);
+      return std::make_unique<SkiplistShard>(es, opt);
     case Backend::kHash:
       return std::make_unique<HashShard>(es, opt);
   }

@@ -13,6 +13,7 @@
 #include "epoch/batch.hpp"
 #include "epoch/epoch_sys.hpp"
 #include "epoch/kvpair.hpp"
+#include "htm/fallback.hpp"
 
 namespace bdhtm::svc {
 
@@ -23,6 +24,11 @@ const char* backend_name(Backend b);
 struct ShardOptions {
   int veb_ubits = 20;          // PHTM-vEB universe bits
   int hash_initial_depth = 4;  // BD-Spash directory depth
+  /// Per-shard fallback policy (DESIGN.md §11): 1 = the paper's global
+  /// elided lock; >1 = fine-grained stripes, rounded to a power of two
+  /// and clamped per structure (e.g. BD-Spash caps it at
+  /// 2^hash_initial_depth).
+  int fallback_stripes = 1;
 };
 
 /// One keyspace partition. Single-op entry points follow the structures'
@@ -43,6 +49,13 @@ class ShardIndex {
   virtual bool ordered() const = 0;
 
   virtual void apply_batch(epoch::BatchOp* ops, std::size_t n) = 0;
+
+  /// The backend's fallback policy and the subscription footprint it
+  /// publishes for ops on `key` (DESIGN.md §11; for the skiplist the
+  /// footprint is representative, not a soundness contract). Used by
+  /// tests and by fallback-contention benchmarks to inject hold windows.
+  virtual htm::FallbackPolicy& fallback_policy() = 0;
+  virtual htm::StripeMask footprint(std::uint64_t key) const = 0;
 
   // Sharded recovery: the store resets every shard, runs ONE heap scan,
   // and routes each surviving block to its shard's relink_recovered.

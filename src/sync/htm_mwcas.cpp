@@ -1,16 +1,29 @@
 #include "sync/htm_mwcas.hpp"
 
+#include "common/rng.hpp"
+
 namespace bdhtm::sync {
 
 namespace {
 constexpr std::uint8_t kMismatch = 0x4d;  // explicit abort: expected differs
-constexpr std::uint8_t kLockBusy = 0x4c;  // subscription found lock held
+constexpr int kMaxLockWaits = 64;
 }  // namespace
 
 HTMMwCAS::Result HTMMwCAS::execute(Word* words, int n) {
-  for (int attempt = 0; attempt < max_retries_; ++attempt) {
+  // Footprint: the union of the target words' stripes (one stripe under
+  // the global policy). Two MwCASes that can touch the same word always
+  // share a stripe, so a fallback excludes every conflicting fast path.
+  htm::StripeMask mask = 0;
+  for (int i = 0; i < n; ++i) {
+    mask |= policy_.mask_of_hash(
+        splitmix64(reinterpret_cast<std::uintptr_t>(words[i].addr)));
+  }
+
+  int lock_waits = 0;
+  bool last_abort_was_lock = false;
+  for (int attempt = 0; attempt < max_retries_;) {
     const unsigned st = htm::run([&](htm::Txn& tx) {
-      lock_.subscribe(tx, kLockBusy);
+      policy_.subscribe(tx, mask);
       for (int i = 0; i < n; ++i) {
         if (tx.load(words[i].addr) != words[i].expected) tx.abort(kMismatch);
       }
@@ -20,13 +33,28 @@ HTMMwCAS::Result HTMMwCAS::execute(Word* words, int n) {
     if ((st & htm::kAbortExplicit) && htm::explicit_code(st) == kMismatch) {
       return {false, false};  // genuine CAS failure, not contention
     }
-    if ((st & htm::kAbortExplicit) && htm::explicit_code(st) == kLockBusy) {
-      lock_.wait_until_free();
+    if ((st & htm::kAbortExplicit) &&
+        htm::is_lock_subscription_code(htm::explicit_code(st))) {
+      // Lock-wait: no progress was possible, so don't charge the retry
+      // budget (see htm::elide) — bounded separately to stay live.
+      last_abort_was_lock = true;
+      if (++lock_waits >= kMaxLockWaits) break;
+      policy_.wait_until_free(mask);
+      continue;
     }
+    last_abort_was_lock = false;
+    lock_waits = 0;
+    ++attempt;
     // conflict/capacity/spurious: retry, eventually take the fallback
   }
-  // Fallback: global lock; aborts all subscribed transactions on acquire.
-  htm::FallbackGuard guard(lock_);
+  // Attribute the fallback by last-abort cause, then acquire exactly the
+  // footprint's stripes; acquisition aborts all subscribed transactions.
+  if (last_abort_was_lock) {
+    htm::note_fallback_lockwait();
+  } else {
+    htm::note_fallback_exhausted();
+  }
+  htm::PolicyGuard guard(policy_, mask);
   for (int i = 0; i < n; ++i) {
     if (htm::nontx_load(words[i].addr) != words[i].expected) {
       return {false, true};

@@ -3,10 +3,11 @@
 // A short hardware transaction reads the N target words, compares them
 // with the expected values, and stores the desired values — no
 // descriptor, no helping, no persistence on the critical path. Best-
-// effort aborts fall back to a global elided lock after a bounded number
-// of retries; plain readers use read(), which goes through the engine's
-// non-transactional interop so they serialize correctly with both the
-// transactional and the fallback path.
+// effort aborts fall back to an elided fallback policy (global lock by
+// default, optionally striped by word address — DESIGN.md §11) after a
+// bounded number of retries; plain readers use read(), which goes
+// through the engine's non-transactional interop so they serialize
+// correctly with both the transactional and the fallback path.
 //
 // Words are plain (non-atomic) std::uint64_t accessed exclusively through
 // the HTM engine.
@@ -15,6 +16,7 @@
 #include <cstdint>
 
 #include "htm/engine.hpp"
+#include "htm/fallback.hpp"
 
 namespace bdhtm::sync {
 
@@ -31,10 +33,15 @@ class HTMMwCAS {
     bool used_fallback;
   };
 
-  explicit HTMMwCAS(int max_retries = 16) : max_retries_(max_retries) {}
+  /// `fallback_stripes` selects the fallback policy: 1 = global lock
+  /// (default); >1 = stripes keyed by hashed word address, so an MwCAS
+  /// footprint is the union of its words' stripes and fallbacks on
+  /// disjoint word sets no longer serialize (or abort) each other.
+  explicit HTMMwCAS(int max_retries = 16, int fallback_stripes = 1)
+      : policy_(fallback_stripes), max_retries_(max_retries) {}
 
   /// Atomic N-word compare-and-swap. Lock-free in the common case; falls
-  /// back to the internal elided lock under persistent aborts, which
+  /// back to the internal fallback policy under persistent aborts, which
   /// preserves progress exactly as best-effort HTM requires.
   Result execute(Word* words, int n);
 
@@ -43,10 +50,11 @@ class HTMMwCAS {
     return htm::nontx_load(addr);
   }
 
-  htm::ElidedLock& fallback_lock() { return lock_; }
+  htm::FallbackPolicy& fallback_policy() { return policy_; }
+  const htm::FallbackPolicy& fallback_policy() const { return policy_; }
 
  private:
-  htm::ElidedLock lock_;
+  htm::FallbackPolicy policy_;
   int max_retries_;
 };
 

@@ -4,6 +4,7 @@
 #include <thread>
 #include <type_traits>
 
+#include "common/rng.hpp"
 #include "htm/retry.hpp"
 
 namespace bdhtm::veb {
@@ -20,11 +21,23 @@ std::uint64_t block_epoch(const void* payload) {
 }
 }  // namespace
 
-PHTMvEB::PHTMvEB(epoch::EpochSys& es, int ubits)
+PHTMvEB::PHTMvEB(epoch::EpochSys& es, int ubits, int fallback_stripes)
     : es_(es),
       dev_(es.device()),
       core_(std::make_unique<VebCore>(ubits)),
+      policy_(fallback_stripes),
       tctx_(std::make_unique<Padded<ThreadCtx>[]>(kMaxThreads)) {}
+
+htm::StripeMask PHTMvEB::footprint(std::uint64_t key) const {
+  if (!policy_.striped()) return policy_.all();
+  // Stripe 0 is reserved for the shared core (root min/max and the
+  // summary recursion every op may touch); the remaining stripes split
+  // the top-level clusters, keyed by the high half of the key.
+  const int c = policy_.stripe_count();
+  const std::uint64_t h = splitmix64(key >> (core_->ubits() / 2));
+  return htm::StripeMask{1} |
+         (htm::StripeMask{1} << (1 + h % static_cast<std::uint64_t>(c - 1)));
+}
 
 void PHTMvEB::prewalk(std::uint64_t key) {
   // Non-transactional warm-up walk after a (simulated) MEMTYPE abort —
@@ -34,56 +47,38 @@ void PHTMvEB::prewalk(std::uint64_t key) {
 }
 
 template <typename Body, typename Prep>
-bool PHTMvEB::mutate(Body&& body, Prep&& prep) {
+bool PHTMvEB::mutate(htm::StripeMask mask, std::uint64_t prewalk_key,
+                     Body&& body, Prep&& prep) {
+  struct PrewalkCtx {
+    PHTMvEB* t;
+    std::uint64_t key;
+  } pw{this, prewalk_key};
+  htm::ElideOptions opts;
+  opts.max_retries = kMaxTxnRetries;
+  opts.prewalk = [](void* c) {
+    auto* p = static_cast<PrewalkCtx*>(c);
+    p->t->prewalk(p->key);
+  };
+  opts.prewalk_ctx = &pw;
   for (;;) {  // epoch-registration loop (Listing 1 retry_regist)
     const std::uint64_t op_epoch = es_.beginOp();
     prep(op_epoch);
     OpCtl ctl;
-    bool committed = false;
     bool restart_epoch = false;
 
-    for (int attempt = 0; attempt < kMaxTxnRetries; ++attempt) {
-      const unsigned st = htm::run([&](htm::Txn& tx) {
-        lock_.subscribe(tx, htm::kLockedCode);
-        ctl = OpCtl{};
-        htm::TxAccess acc{tx};
-        body(acc, op_epoch, ctl);
-      });
-      if (st == htm::kCommitted) {
-        committed = true;
-        break;
-      }
-      if (st & htm::kAbortExplicit) {
-        const std::uint8_t code = htm::explicit_code(st);
-        if (code == kOldSeeNewException) {
-          restart_epoch = true;  // restart in a fresh epoch
-          break;
-        }
-        if (code == htm::kLockedCode) {
-          lock_.wait_until_free();
-          continue;
-        }
-      }
-      if (st & htm::kAbortMemtype) {
-        ctl.prewalk_key_valid ? prewalk(ctl.prewalk_key) : void();
-        htm::prewalk_hint();
-        continue;
-      }
-      // conflict / capacity / spurious: plain retry
-    }
-
-    if (!committed && !restart_epoch) {
-      htm::FallbackGuard guard(lock_);
-      try {
-        ctl = OpCtl{};
-        htm::NontxAccess acc;
-        body(acc, op_epoch, ctl);
-        committed = true;
-      } catch (const htm::FallbackRestart& fr) {
-        assert(fr.code == kOldSeeNewException);
-        (void)fr;
-        restart_epoch = true;
-      }
+    try {
+      htm::elide<bool>(
+          policy_, mask,
+          [&](auto& acc) -> bool {
+            ctl = OpCtl{};
+            body(acc, op_epoch, ctl);
+            return true;
+          },
+          opts);
+    } catch (const htm::FallbackRestart& fr) {
+      assert(fr.code == kOldSeeNewException);
+      (void)fr;
+      restart_epoch = true;  // restart in a fresh epoch
     }
 
     if (restart_epoch) {
@@ -180,9 +175,8 @@ void PHTMvEB::get_in_tx(Acc& acc, std::uint64_t key, OpCtl& ctl) {
 
 bool PHTMvEB::insert(std::uint64_t key, std::uint64_t value) {
   auto& tc = tctx_[thread_id()].value;
-  return mutate([&](auto& acc, std::uint64_t op_epoch, OpCtl& ctl) {
-    ctl.prewalk_key = key;
-    ctl.prewalk_key_valid = true;
+  return mutate(footprint(key), key,
+                [&](auto& acc, std::uint64_t op_epoch, OpCtl& ctl) {
     // The preallocated block was prepared outside the transaction (see
     // below: mutate() re-runs this body, and the first statement of each
     // attempt must make the block ready).
@@ -199,9 +193,8 @@ bool PHTMvEB::insert(std::uint64_t key, std::uint64_t value) {
 }
 
 bool PHTMvEB::remove(std::uint64_t key) {
-  return mutate([&](auto& acc, std::uint64_t op_epoch, OpCtl& ctl) {
-    ctl.prewalk_key = key;
-    ctl.prewalk_key_valid = true;
+  return mutate(footprint(key), key,
+                [&](auto& acc, std::uint64_t op_epoch, OpCtl& ctl) {
     remove_in_tx(acc, op_epoch, key, ctl);
     if (ctl.stale) acc.fail(kOldSeeNewException);
   });
@@ -210,7 +203,7 @@ bool PHTMvEB::remove(std::uint64_t key) {
 std::optional<std::uint64_t> PHTMvEB::find(std::uint64_t key) {
   es_.beginOp();  // pin the epoch: blocks we read cannot be reclaimed
   OpCtl ctl;
-  htm::elide<bool>(lock_, [&](auto& acc) -> bool {
+  htm::elide<bool>(policy_, footprint(key), [&](auto& acc) -> bool {
     ctl = OpCtl{};
     get_in_tx(acc, key, ctl);
     return true;
@@ -224,7 +217,9 @@ std::optional<std::pair<std::uint64_t, std::uint64_t>> PHTMvEB::successor(
     std::uint64_t key) {
   using Out = std::optional<std::pair<std::uint64_t, std::uint64_t>>;
   es_.beginOp();
-  auto out = htm::elide<Out>(lock_, [&](auto& acc) -> Out {
+  // A successor walk can cross cluster boundaries, so it has no bounded
+  // stripe footprint: subscribe to everything.
+  auto out = htm::elide<Out>(policy_, policy_.all(), [&](auto& acc) -> Out {
     auto s = core_->successor(acc, key);
     if (!s) return std::nullopt;
     auto* kv = reinterpret_cast<KVPair*>(s->second);
@@ -262,8 +257,10 @@ void PHTMvEB::apply_batch(epoch::BatchOp* ops, std::size_t n) {
   // back, so the counter only ever moves under NontxAccess (plain writes
   // to locals survive transactional aborts — see DESIGN.md §4).
   std::size_t fb_applied = 0;
+  htm::StripeMask mask = 0;  // union of the per-op footprints
+  for (std::size_t i = 0; i < n; ++i) mask |= footprint(ops[i].key);
   try {
-    htm::elide<bool>(lock_, [&](auto& acc) -> bool {
+    htm::elide<bool>(policy_, mask, [&](auto& acc) -> bool {
       using AccT = std::decay_t<decltype(acc)>;
       for (std::size_t i = fb_applied; i < n; ++i) {
         OpCtl& ctl = tc.ctls[i];
@@ -338,7 +335,8 @@ void PHTMvEB::reset_index() {
 }
 
 void PHTMvEB::relink_recovered(KVPair* kv, std::uint64_t create_epoch) {
-  KVPair* loser = htm::elide<KVPair*>(lock_, [&](auto& acc) -> KVPair* {
+  KVPair* loser = htm::elide<KVPair*>(
+      policy_, footprint(kv->key), [&](auto& acc) -> KVPair* {
     const std::uint64_t key = kv->key;
     if (std::uint64_t* sa = core_->slot_addr(acc, key)) {
       auto* cur = reinterpret_cast<KVPair*>(acc.load(sa));

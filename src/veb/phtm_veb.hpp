@@ -29,13 +29,20 @@
 #include "epoch/epoch_sys.hpp"
 #include "epoch/kvpair.hpp"
 #include "htm/engine.hpp"
+#include "htm/fallback.hpp"
 #include "veb/veb_core.hpp"
 
 namespace bdhtm::veb {
 
 class PHTMvEB {
  public:
-  PHTMvEB(epoch::EpochSys& es, int ubits);
+  /// `fallback_stripes` selects the fallback policy (DESIGN.md §11).
+  /// vEB operations recurse through shared root/summary state, so the
+  /// striped footprint is conservative: stripe 0 covers the shared core
+  /// and is part of EVERY op's mask — striping only decouples the
+  /// subscription sets, not fallback exclusion. Expect little gain here
+  /// (the documented "when striped loses" case); 1 = global, default.
+  PHTMvEB(epoch::EpochSys& es, int ubits, int fallback_stripes = 1);
 
   /// Insert or update; returns true if the key was newly inserted.
   bool insert(std::uint64_t key, std::uint64_t value);
@@ -71,6 +78,14 @@ class PHTMvEB {
   std::uint64_t nvm_bytes() const { return es_.allocator().bytes_in_use(); }
   epoch::EpochSys& epoch_sys() { return es_; }
 
+  /// The tree's fallback policy and the published subscription footprint
+  /// of an op on `key` (DESIGN.md §11): stripe 0 (the shared root /
+  /// summary recursion) plus a cluster stripe from the key's top-level
+  /// cluster bits. Conservative by design — see the constructor comment.
+  /// Exposed for tests and fallback-contention benchmarks.
+  htm::FallbackPolicy& fallback_policy() { return policy_; }
+  htm::StripeMask footprint(std::uint64_t key) const;
+
  private:
   struct OpCtl {
     epoch::KVPair* retire = nullptr;
@@ -79,8 +94,6 @@ class PHTMvEB {
     bool result = false;
     bool stale = false;  // saw a newer-epoch block (OldSeeNewException)
     std::uint64_t out_value = 0;  // get result
-    std::uint64_t prewalk_key = 0;
-    bool prewalk_key_valid = false;
   };
   struct ThreadCtx {
     epoch::KVPair* new_blk = nullptr;
@@ -92,12 +105,16 @@ class PHTMvEB {
   };
 
   // Listing 1 retry structure; `prep` runs outside the transaction after
-  // each beginOp() (block preallocation / reinitialization).
+  // each beginOp() (block preallocation / reinitialization). `mask` is
+  // the op's stripe footprint; `prewalk_key` drives the MEMTYPE-abort
+  // mitigation walk between attempts.
   template <typename Body, typename Prep>
-  bool mutate(Body&& body, Prep&& prep);
+  bool mutate(htm::StripeMask mask, std::uint64_t prewalk_key, Body&& body,
+              Prep&& prep);
   template <typename Body>
-  bool mutate(Body&& body) {
-    return mutate(std::forward<Body>(body), [](std::uint64_t) {});
+  bool mutate(htm::StripeMask mask, std::uint64_t prewalk_key, Body&& body) {
+    return mutate(mask, prewalk_key, std::forward<Body>(body),
+                  [](std::uint64_t) {});
   }
   // Accessor-generic op bodies shared by the single-op paths and
   // apply_batch. They report OldSeeNew via ctl.stale instead of
@@ -119,7 +136,7 @@ class PHTMvEB {
   epoch::EpochSys& es_;
   nvm::Device& dev_;
   std::unique_ptr<VebCore> core_;
-  htm::ElidedLock lock_;
+  htm::FallbackPolicy policy_;
   std::unique_ptr<Padded<ThreadCtx>[]> tctx_;
 };
 

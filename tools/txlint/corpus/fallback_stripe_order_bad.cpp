@@ -1,0 +1,12 @@
+// Known-bad: a hand-rolled fallback acquiring stripes out of canonical
+// order. A peer acquiring {1, 5} ascending while this thread holds 5 and
+// wants 1 is the textbook two-lock deadlock cycle; FallbackPolicy's
+// acquire(mask) exists so callers never write this loop by hand.
+// txlint-expect: fallback-stripe-order
+
+void slow_path(htm::FallbackPolicy& pol) {
+  pol.acquire_stripe(5);
+  pol.acquire_stripe(1);  // BUG: descending while holding stripe 5
+  pol.release_stripe(1);
+  pol.release_stripe(5);
+}

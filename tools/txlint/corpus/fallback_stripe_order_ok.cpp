@@ -1,0 +1,29 @@
+// The correct striped-fallback shape: the transaction subscribes to its
+// footprint before touching tracked state, and the slow path acquires
+// its stripes in canonical ascending order (releases may go either way —
+// release order cannot deadlock). Must lint clean.
+// txlint-expect: none
+
+std::uint64_t lookup(htm::FallbackPolicy& pol, Map& m, Key k,
+                     htm::StripeMask mask) {
+  return htm::run([&](htm::Txn& tx) {
+    pol.subscribe(tx, mask);  // footprint covered before any access
+    return tx.load(m.slot(k));
+  });
+}
+
+void slow_path(htm::FallbackPolicy& pol) {
+  pol.acquire_stripe(1);
+  pol.acquire_stripe(5);  // ascending: canonical
+  pol.release_stripe(5);
+  pol.release_stripe(1);
+}
+
+void slow_path_again(htm::FallbackPolicy& pol) {
+  // A fresh function body: re-acquiring a low stripe is fine once the
+  // previous holds were released.
+  pol.acquire_stripe(0);
+  pol.release_stripe(0);
+  pol.acquire_stripe(2);
+  pol.release_stripe(2);
+}

@@ -1,0 +1,15 @@
+// Known-bad: the transaction reads tracked state before subscribing to
+// its fallback stripes. A fallback holder that acquires between the read
+// and the late subscription invalidates the read without aborting this
+// transaction — the subscription must be the body's first tracked
+// interaction.
+// txlint-expect: fallback-stripe-order
+
+std::uint64_t lookup(htm::FallbackPolicy& pol, Map& m, Key k,
+                     htm::StripeMask mask) {
+  return htm::run([&](htm::Txn& tx) {
+    std::uint64_t v = tx.load(m.slot(k));  // tracked access first...
+    pol.subscribe(tx, mask);               // BUG: ...subscription late
+    return v;
+  });
+}

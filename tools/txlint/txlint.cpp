@@ -17,6 +17,13 @@
 //   retire-before-commit   pRetire/pTrack/pDelete inside a tx body
 //   irrevocable-in-tx      I/O, locking, begin/endOp inside a tx body
 //   unbalanced-epoch-op    beginOp without endOp/abortOp on some path
+//   fallback-stripe-order  acquire_stripe(i) with a stripe >= i already
+//                          held in the same function (breaks the canonical
+//                          ascending order that makes striped fallbacks
+//                          deadlock free), or a fallback subscription made
+//                          after the transaction already accessed tracked
+//                          state (tx.load/tx.store/acc.* before
+//                          subscribe — the subscription must come first)
 //
 // Transaction bodies are recognized from the codebase's idioms:
 //   * lambdas passed to htm::elide<...>(...)
@@ -41,6 +48,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -63,6 +71,7 @@ enum class Rule {
   kRetireBeforeCommit,
   kIrrevocableInTx,
   kUnbalancedEpochOp,
+  kFallbackStripeOrder,
   kNumRules,
 };
 
@@ -80,6 +89,8 @@ const char* rule_name(Rule r) {
       return "irrevocable-in-tx";
     case Rule::kUnbalancedEpochOp:
       return "unbalanced-epoch-op";
+    case Rule::kFallbackStripeOrder:
+      return "fallback-stripe-order";
     default:
       return "?";
   }
@@ -375,10 +386,15 @@ struct Analyzer {
     bool fn = false;           // a function/lambda body (own return scope)
     bool fn_top = false;       // outermost function body: epoch balancing unit
     bool tx_begin_region = false;  // saw qualified tx_begin, awaiting commit
+    bool tx_accessed = false;  // tracked access seen since this tx began
     int open_ops = 0;          // beginOp minus endOp/abortOp (fn_top only)
     int first_begin_line = 0;
     bool unbalanced_reported = false;
     std::string name;
+    // Stripe-index literals this function body currently holds via
+    // acquire_stripe(<literal>) — the lexical mirror of the runtime
+    // held-mask check (fn blocks only; non-literal indices are opaque).
+    std::set<long> stripes_held;
   };
 
   Analyzer(const std::string& p, const FileLex& f, std::vector<Finding>* o)
@@ -513,6 +529,15 @@ struct Analyzer {
         if (b.tx || b.tx_begin_region) return true;
       }
       return false;
+    };
+    // The block that carries the current transaction scope (tx bodies do
+    // not nest in this codebase; the outermost tx block owns the
+    // accessed-before-subscribe state).
+    auto tx_block = [&]() -> Block* {
+      for (Block& b : blocks) {
+        if (b.tx || b.tx_begin_region) return &b;
+      }
+      return nullptr;
     };
     auto innermost_fn = [&]() -> Block* {
       for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) {
@@ -688,9 +713,65 @@ struct Analyzer {
         continue;
       }
 
-      if (call_open_paren(i) < 0) continue;
+      const int open = call_open_paren(i);
+      if (open < 0) continue;
       const std::string& name = tk.text;
       const bool qualified = tok_is(i - 1, "::");
+
+      // Fallback protocol (fallback-stripe-order, two obligations):
+      //
+      // 1. A tracked access before the subscription leaves a window where
+      //    a fallback holder slips between the access and the (late)
+      //    subscribe. Tracked accesses are the tx/acc member calls; the
+      //    subscription must be the body's first tracked interaction.
+      if ((tok_is(i - 1, ".") || tok_is(i - 1, "->")) &&
+          (tok_is(i - 2, "tx") || tok_is(i - 2, "acc"))) {
+        if (Block* tb = tx_block()) {
+          if (name == "subscribe") {
+            // `tx.subscribe(...)` does not occur; guard anyway.
+          } else if (name == "load" || name == "store" ||
+                     name == "store_nvm" || name == "read" ||
+                     name == "write") {
+            tb->tx_accessed = true;
+          }
+        }
+      }
+      if (name == "subscribe") {
+        if (Block* tb = tx_block(); tb && tb->tx_accessed) {
+          report(tk.line, Rule::kFallbackStripeOrder,
+                 "'subscribe' after the transaction already made a tracked "
+                 "access (the subscription must cover the footprint before "
+                 "it is touched)");
+        }
+        continue;
+      }
+      // 2. Stripes must be acquired in ascending index order (the
+      //    canonical order — any holder acquiring a lower stripe while
+      //    holding a higher one can deadlock against a canonical peer).
+      //    Mirrors the runtime held-mask check for literal indices.
+      if (name == "acquire_stripe" || name == "release_stripe") {
+        long lit = -1;
+        if (match[open] == open + 2 &&
+            toks[open + 1].kind == TokKind::kNumber) {
+          lit = std::strtol(toks[open + 1].text.c_str(), nullptr, 0);
+        }
+        if (Block* f = innermost_fn(); f && lit >= 0) {
+          if (name == "acquire_stripe") {
+            if (!f->stripes_held.empty() &&
+                *f->stripes_held.rbegin() >= lit) {
+              report(tk.line, Rule::kFallbackStripeOrder,
+                     "'acquire_stripe(" + toks[open + 1].text +
+                         ")' while already holding stripe " +
+                         std::to_string(*f->stripes_held.rbegin()) +
+                         " (stripes must be acquired in ascending order)");
+            }
+            f->stripes_held.insert(lit);
+          } else {
+            f->stripes_held.erase(lit);
+          }
+        }
+        continue;
+      }
 
       // tx_begin/tx_commit regions (only qualified uses — the emulation's
       // own definitions in htm/engine are not call sites).
