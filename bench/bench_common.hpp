@@ -231,6 +231,7 @@ inline void note_htm_stats() {
   a.fallback_acquisitions += s.fallback_acquisitions;
   a.fallbacks_lockwait += s.fallbacks_lockwait;
   a.fallbacks_exhausted += s.fallbacks_exhausted;
+  a.fallbacks_wait_timeout += s.fallbacks_wait_timeout;
   a.fallback_stripes_acquired += s.fallback_stripes_acquired;
   e.htm_noted = true;
 }
@@ -396,6 +397,8 @@ inline int finish() {
   w.value(h.fallbacks_lockwait);
   w.key("retry_exhausted");
   w.value(h.fallbacks_exhausted);
+  w.key("wait_timeout");
+  w.value(h.fallbacks_wait_timeout);
   w.key("stripes_acquired");
   w.value(h.fallback_stripes_acquired);
   w.end_object();

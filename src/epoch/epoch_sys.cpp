@@ -1,6 +1,7 @@
 #include "epoch/epoch_sys.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <stdexcept>
@@ -120,7 +121,13 @@ void EpochSys::persist_root() {
 }
 
 std::uint64_t EpochSys::persisted_epoch() const {
-  return root()->persisted_epoch;
+  // The root lives in the mapped device image, so the field is a plain
+  // uint64_t (recovery reads it byte-for-byte); at runtime the advancer
+  // publishes it concurrently with reader threads polling durable-ack
+  // frontiers, so the runtime accesses go through atomic_ref.
+  auto* r = const_cast<PersistentRoot*>(root());
+  return std::atomic_ref<std::uint64_t>(r->persisted_epoch)
+      .load(std::memory_order_acquire);
 }
 
 std::uint64_t EpochSys::beginOp() {
@@ -368,8 +375,11 @@ void EpochSys::advance_locked(const std::stop_token& st) {
     stolen_retired_[t].clear();
   }
 
-  // (3) Persist the epoch counter, (4) publish the new epoch.
-  root()->persisted_epoch = e + 1;
+  // (3) Persist the epoch counter, (4) publish the new epoch. The
+  // counter is published through atomic_ref because durable-ack pollers
+  // read it via persisted_epoch() without taking the advance lock.
+  std::atomic_ref<std::uint64_t>(root()->persisted_epoch)
+      .store(e + 1, std::memory_order_release);
   if (do_flush) {
     persist_root();
   } else {

@@ -123,6 +123,11 @@ struct TxStats {
   /// tell these apart — only the retry loop knows why it gave up.
   std::uint64_t fallbacks_lockwait = 0;
   std::uint64_t fallbacks_exhausted = 0;
+  /// Fallbacks forced by ElideOptions::max_wait_us: the total time spent
+  /// waiting for fallback holders crossed the deadline (e.g. a holder
+  /// descheduled by the OS mid-critical-section). Distinct from
+  /// fallbacks_lockwait, which counts the per-wait count bound.
+  std::uint64_t fallbacks_wait_timeout = 0;
   /// Stripe locks taken across all fallback acquisitions (==
   /// fallback_acquisitions under the global policy, whose footprint is
   /// always the single lock word; larger under striped policies).
@@ -149,6 +154,9 @@ void note_fallback();
 /// lock-wait bound was hit (contention) vs. the retry budget ran out.
 void note_fallback_lockwait();
 void note_fallback_exhausted();
+/// The elide() total-wait deadline (ElideOptions::max_wait_us) expired
+/// while waiting on fallback holders (htm.fallback.wait_timeout).
+void note_fallback_wait_timeout();
 /// Stripe-level fallback accounting (htm/fallback.hpp): `n` stripe locks
 /// acquired in one fallback acquisition that took `wait_ns` to complete
 /// (htm.fallback.stripes_acquired / htm.fallback.stripe_wait_ns).
@@ -339,6 +347,20 @@ class ElidedLock {
     while (locked()) {
       backoff.pause();
     }
+  }
+
+  /// Bounded variant: give up once now_ns() passes `deadline_ns`.
+  /// Returns true if the lock was observed free, false on timeout —
+  /// the caller (elide()'s total-wait deadline) must then stop waiting
+  /// and take the fallback itself rather than spin behind a holder the
+  /// OS may have descheduled indefinitely.
+  bool wait_until_free(std::uint64_t deadline_ns) const {
+    Backoff backoff;
+    while (locked()) {
+      if (now_ns() >= deadline_ns) return false;
+      backoff.pause();
+    }
+    return true;
   }
 
   void acquire() {

@@ -49,6 +49,16 @@ void FallbackPolicy::wait_until_free(StripeMask mask) const {
   }
 }
 
+bool FallbackPolicy::wait_until_free(StripeMask mask,
+                                     std::uint64_t deadline_ns) const {
+  for (StripeMask m = mask; m != 0; m &= m - 1) {
+    if (!slots_[std::countr_zero(m)].lock.wait_until_free(deadline_ns)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void FallbackPolicy::acquire(StripeMask mask) {
   assert(mask != 0 && (mask & ~all()) == 0);
   const std::uint64_t t0 = now_ns();

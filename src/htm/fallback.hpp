@@ -94,6 +94,12 @@ class FallbackPolicy {
   /// (paper Listing 1 line 43, per stripe).
   void wait_until_free(StripeMask mask) const;
 
+  /// Bounded variant: stop once now_ns() passes `deadline_ns`. Returns
+  /// false on timeout (some stripe in `mask` was never observed free) —
+  /// elide()'s total-wait deadline then takes the fallback instead of
+  /// spinning behind a descheduled holder.
+  bool wait_until_free(StripeMask mask, std::uint64_t deadline_ns) const;
+
   /// Fallback acquisition of every stripe in `mask` in canonical
   /// ascending order. Counts ONE fallback acquisition
   /// (htm.fallback.total) regardless of |mask| — parity with

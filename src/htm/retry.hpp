@@ -29,6 +29,14 @@ struct ElideOptions {
   /// eventually joins the lock queue. Generous default: each wait already
   /// blocks until the lock is observed free once.
   int max_lock_waits = 64;
+  /// Total-wait deadline across ALL lock-waits in one elide() call, in
+  /// microseconds (0 = unbounded). max_lock_waits bounds the COUNT of
+  /// waits, but each individual wait is unbounded: a fallback holder
+  /// descheduled by the OS mid-critical-section would pin every waiter
+  /// on a spin loop for the holder's whole time-slice-out. The deadline
+  /// converts that into a (counted) wait_timeout fallback: the waiter
+  /// joins the lock queue and the kernel sorts out the rest.
+  std::uint64_t max_wait_us = 100'000;
   /// Bounded exponential backoff between attempts after a conflict,
   /// capacity, or spurious abort: the delay doubles from min to max.
   /// Symmetric aborters re-colliding in lockstep is what turns transient
@@ -63,6 +71,8 @@ R elide(ElidedLock& lock, Body&& body, const ElideOptions& opts = {}) {
   std::uint32_t delay_ns = opts.backoff_min_ns;
   int lock_waits = 0;
   bool last_abort_was_lock = false;
+  bool wait_timed_out = false;
+  std::uint64_t wait_deadline_ns = 0;  // armed lazily on the first wait
   for (int attempt = 0; attempt < opts.max_retries;) {
     R result{};
     const unsigned st = run([&](Txn& tx) {
@@ -80,7 +90,19 @@ R elide(ElidedLock& lock, Body&& body, const ElideOptions& opts = {}) {
       // behind a steady stream of fallback holders.
       last_abort_was_lock = true;
       if (++lock_waits >= opts.max_lock_waits) break;
-      lock.wait_until_free();
+      if (opts.max_wait_us == 0) {
+        lock.wait_until_free();
+      } else {
+        // The deadline is TOTAL across every wait in this call: arming
+        // it once keeps a stream of short holds from resetting it.
+        if (wait_deadline_ns == 0) {
+          wait_deadline_ns = now_ns() + opts.max_wait_us * 1000;
+        }
+        if (!lock.wait_until_free(wait_deadline_ns)) {
+          wait_timed_out = true;
+          break;
+        }
+      }
       continue;
     }
     last_abort_was_lock = false;
@@ -111,8 +133,11 @@ R elide(ElidedLock& lock, Body&& body, const ElideOptions& opts = {}) {
   // Attribute the fallback to its cause before taking the lock: a final
   // lock-subscription abort means contention drove us here, even if the
   // retry budget happened to run out on the same pass — only the cause
-  // of the LAST abort says why progress ultimately stalled.
-  if (last_abort_was_lock) {
+  // of the LAST abort says why progress ultimately stalled. A timed-out
+  // wait is its own cause: the holder stalled, not mere contention.
+  if (wait_timed_out) {
+    note_fallback_wait_timeout();
+  } else if (last_abort_was_lock) {
     note_fallback_lockwait();
   } else {
     note_fallback_exhausted();
@@ -134,6 +159,8 @@ R elide(FallbackPolicy& policy, StripeMask mask, Body&& body,
   std::uint32_t delay_ns = opts.backoff_min_ns;
   int lock_waits = 0;
   bool last_abort_was_lock = false;
+  bool wait_timed_out = false;
+  std::uint64_t wait_deadline_ns = 0;
   for (int attempt = 0; attempt < opts.max_retries;) {
     R result{};
     const unsigned st = run([&](Txn& tx) {
@@ -146,7 +173,17 @@ R elide(FallbackPolicy& policy, StripeMask mask, Body&& body,
         is_lock_subscription_code(explicit_code(st))) {
       last_abort_was_lock = true;
       if (++lock_waits >= opts.max_lock_waits) break;
-      policy.wait_until_free(mask);
+      if (opts.max_wait_us == 0) {
+        policy.wait_until_free(mask);
+      } else {
+        if (wait_deadline_ns == 0) {
+          wait_deadline_ns = now_ns() + opts.max_wait_us * 1000;
+        }
+        if (!policy.wait_until_free(mask, wait_deadline_ns)) {
+          wait_timed_out = true;
+          break;
+        }
+      }
       continue;
     }
     last_abort_was_lock = false;
@@ -168,7 +205,9 @@ R elide(FallbackPolicy& policy, StripeMask mask, Body&& body,
     }
   }
   // Attribute by last-abort cause (see the ElidedLock overload).
-  if (last_abort_was_lock) {
+  if (wait_timed_out) {
+    note_fallback_wait_timeout();
+  } else if (last_abort_was_lock) {
     note_fallback_lockwait();
   } else {
     note_fallback_exhausted();

@@ -1,0 +1,68 @@
+// Cross-process futex wrappers for the shared-memory transport. The
+// words live in mmap'd files shared between unrelated processes, so the
+// PRIVATE flag must NOT be set. Every wait here is bounded: both sides
+// of the transport re-check liveness (leases, ESRCH, phase words) on a
+// tick, which is what makes a SIGKILLed peer a detectable event instead
+// of a hang. Dependency-free (see wire.hpp): compiled into standalone
+// client binaries.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ctime>
+
+#ifdef __linux__
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#else
+#include <thread>
+#endif
+
+namespace bdhtm::ipc {
+
+/// Monotonic clock, local to the transport so clients need no repo
+/// dependencies beyond this directory.
+inline std::uint64_t mono_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/// Sleep while *word == expected, for at most timeout_ns. Returns after
+/// a wake, a value mismatch, a signal, or the timeout — callers always
+/// re-check the word and their deadline in a loop (spurious returns are
+/// fine; unbounded sleeps are not).
+inline void futex_wait(const std::atomic<std::uint32_t>* word,
+                       std::uint32_t expected, std::uint64_t timeout_ns) {
+#ifdef __linux__
+  timespec ts{};
+  ts.tv_sec = static_cast<time_t>(timeout_ns / 1'000'000'000ULL);
+  ts.tv_nsec = static_cast<long>(timeout_ns % 1'000'000'000ULL);
+  syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(word),
+          FUTEX_WAIT, expected, &ts, nullptr, 0);
+#else
+  // Portability fallback: bounded poll. Correctness only, not perf.
+  const std::uint64_t deadline = mono_ns() + timeout_ns;
+  while (word->load(std::memory_order_acquire) == expected &&
+         mono_ns() < deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+#endif
+}
+
+/// Wake up to n waiters parked on `word`.
+inline void futex_wake(std::atomic<std::uint32_t>* word, int n) {
+#ifdef __linux__
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), FUTEX_WAKE, n,
+          nullptr, nullptr, 0);
+#else
+  (void)word;
+  (void)n;
+#endif
+}
+
+}  // namespace bdhtm::ipc

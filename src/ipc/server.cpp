@@ -1,0 +1,436 @@
+#include "ipc/server.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+#include "epoch/batch.hpp"
+#include "ipc/futex.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bdhtm::ipc {
+
+// The wire enums are the client's only view of the durable core's
+// vocabulary; pin them to the real values so the client headers can
+// stay free of svc/epoch includes.
+static_assert(kOpGet ==
+              static_cast<std::uint32_t>(epoch::BatchOp::Kind::kGet));
+static_assert(kOpPut ==
+              static_cast<std::uint32_t>(epoch::BatchOp::Kind::kPut));
+static_assert(kOpRemove ==
+              static_cast<std::uint32_t>(epoch::BatchOp::Kind::kRemove));
+static_assert(kStOk == static_cast<std::uint32_t>(svc::Status::kOk));
+static_assert(kStNotFound ==
+              static_cast<std::uint32_t>(svc::Status::kNotFound));
+static_assert(kStRejected ==
+              static_cast<std::uint32_t>(svc::Status::kRejected));
+static_assert(kStClosed == static_cast<std::uint32_t>(svc::Status::kClosed));
+static_assert(kStUnsupported ==
+              static_cast<std::uint32_t>(svc::Status::kUnsupported));
+static_assert(kStClientGone ==
+              static_cast<std::uint32_t>(svc::Status::kClientGone));
+
+namespace {
+
+struct IpcCounters {
+  obs::Counter& accepted;
+  obs::Counter& refused;
+  obs::Counter& closed;
+  obs::Counter& reclaims;
+  obs::Counter& dead_shed;
+  obs::Counter& orphans;
+  obs::Counter& lease_expirations;
+  obs::Counter& requests;
+  obs::Counter& responses;
+  obs::Histogram& serve_ns;
+};
+
+IpcCounters& cnt() {
+  static IpcCounters c{
+      obs::Registry::global().counter("ipc.sessions.accepted"),
+      obs::Registry::global().counter("ipc.sessions.refused"),
+      obs::Registry::global().counter("ipc.sessions.closed"),
+      obs::Registry::global().counter("ipc.reclaims"),
+      obs::Registry::global().counter("ipc.dead_shed"),
+      obs::Registry::global().counter("ipc.orphan_completions"),
+      obs::Registry::global().counter("ipc.lease_expirations"),
+      obs::Registry::global().counter("ipc.requests"),
+      obs::Registry::global().counter("ipc.responses"),
+      obs::Registry::global().histogram("ipc.serve_ns"),
+  };
+  return c;
+}
+
+bool pid_vanished(std::uint32_t pid) {
+  if (pid == 0) return false;
+  return kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH;
+}
+
+}  // namespace
+
+ShmServer::ShmServer(svc::KVStore& store, Config cfg)
+    : store_(store), cfg_(std::move(cfg)) {
+  if (cfg_.max_sessions == 0) cfg_.max_sessions = 1;
+  sessions_.reserve(cfg_.max_sessions);
+  for (std::uint32_t i = 0; i < cfg_.max_sessions; ++i) {
+    sessions_.push_back(std::make_unique<Session>());
+  }
+  // Fixed thread pool, sized at construction: common/threading.hpp
+  // thread ids are never recycled in-process, so serving each accepted
+  // client on a fresh thread would exhaust the id space under churn.
+  for (std::uint32_t i = 0; i < cfg_.max_sessions; ++i) {
+    sessions_[i]->thread = std::thread([this, i] { session_loop(i); });
+  }
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+}
+
+ShmServer::~ShmServer() { close(); }
+
+void ShmServer::close() {
+  std::lock_guard<std::mutex> g(close_mu_);
+  if (!running_.load(std::memory_order_acquire)) return;  // already closed
+  running_.store(false, std::memory_order_release);
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& s : sessions_) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+  // The acceptor's final scan may have armed a session after its
+  // serving thread already exited; with every thread joined this sweep
+  // is single-threaded and owes those clients a kServerClosed.
+  for (auto& s : sessions_) {
+    if (s->base != nullptr) {
+      teardown(*s, kServerClosed);
+      s->phase.store(Session::kIdle, std::memory_order_release);
+    }
+  }
+}
+
+ShmServer::Stats ShmServer::stats() const {
+  IpcCounters& m = cnt();
+  Stats out;
+  out.accepted = m.accepted.total();
+  out.refused = m.refused.total();
+  out.closed = m.closed.total();
+  out.reclaims = m.reclaims.total();
+  out.dead_shed = m.dead_shed.total();
+  out.orphans = m.orphans.total();
+  out.lease_expirations = m.lease_expirations.total();
+  out.requests = m.requests.total();
+  out.responses = m.responses.total();
+  return out;
+}
+
+std::uint32_t ShmServer::active_sessions() const {
+  std::uint32_t n = 0;
+  for (const auto& s : sessions_) {
+    if (s->phase.load(std::memory_order_acquire) != Session::kIdle) ++n;
+  }
+  return n;
+}
+
+void ShmServer::acceptor_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    std::vector<std::string> present;
+    if (DIR* d = opendir(cfg_.dir.c_str())) {
+      while (dirent* e = readdir(d)) {
+        const std::string name = e->d_name;
+        if (name.size() < 7 || name.compare(name.size() - 6, 6, ".arena") != 0) {
+          continue;
+        }
+        present.push_back(cfg_.dir + "/" + name);
+      }
+      closedir(d);
+    }
+    // Prune handled entries whose files vanished (client unlinked, or a
+    // reclaim unlinked them) so the bookkeeping stays bounded.
+    handled_.erase(std::remove_if(handled_.begin(), handled_.end(),
+                                  [&](const std::string& p) {
+                                    return std::find(present.begin(),
+                                                     present.end(),
+                                                     p) == present.end();
+                                  }),
+                   handled_.end());
+    for (const std::string& p : present) {
+      if (std::find(handled_.begin(), handled_.end(), p) != handled_.end()) {
+        continue;
+      }
+      if (try_accept(p)) handled_.push_back(p);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(cfg_.poll_us));
+  }
+}
+
+// Returns true when `path` has been fully dispositioned (accepted or
+// refused); false = still initializing, rescan next tick.
+bool ShmServer::try_accept(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return true;  // vanished between scan and open
+  struct stat st{};
+  if (fstat(fd, &st) != 0 || static_cast<std::size_t>(st.st_size) <
+                                 kHeaderBytes) {
+    // Too small to even carry a header: either still being ftruncated
+    // (rescan) or garbage we must not touch (mapping past EOF SIGBUSes).
+    ::close(fd);
+    return false;
+  }
+  void* head = mmap(nullptr, kHeaderBytes, PROT_READ | PROT_WRITE,
+                    MAP_SHARED, fd, 0);
+  if (head == MAP_FAILED) {
+    ::close(fd);
+    return true;
+  }
+  auto* h = static_cast<ArenaHdr*>(head);
+  const std::uint32_t ph = h->phase.load(std::memory_order_acquire);
+  if (ph == 0) {
+    // No hello yet: the arena is mid-initialization (phase is the
+    // client's commit point). Come back next tick.
+    munmap(head, kHeaderBytes);
+    ::close(fd);
+    return false;
+  }
+  auto refuse = [&]() {
+    // Count before publishing the verdict: the refused client resumes
+    // the instant it sees kRefused, and anything it then asserts about
+    // the refusal (tests poll this counter) must already be visible.
+    cnt().refused.add();
+    h->phase.store(kRefused, std::memory_order_release);
+    futex_wake(&h->phase, 1);
+    munmap(head, kHeaderBytes);
+    ::close(fd);
+    return true;
+  };
+  if (ph != kHello || h->magic != kArenaMagic || h->version != kWireVersion ||
+      h->slot_count == 0 || h->slot_count > kMaxSlots ||
+      h->slot_bytes != sizeof(Slot) ||
+      static_cast<std::size_t>(st.st_size) != arena_bytes(h->slot_count)) {
+    return refuse();
+  }
+  Session* free_s = nullptr;
+  std::uint32_t free_idx = 0;
+  for (std::uint32_t i = 0; i < cfg_.max_sessions; ++i) {
+    if (sessions_[i]->phase.load(std::memory_order_acquire) ==
+        Session::kIdle) {
+      free_s = sessions_[i].get();
+      free_idx = i;
+      break;
+    }
+  }
+  if (free_s == nullptr) return refuse();  // registry full
+
+  const std::size_t bytes = arena_bytes(h->slot_count);
+  void* base = mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    base = nullptr;
+    cnt().refused.add();
+    h->phase.store(kRefused, std::memory_order_release);
+    futex_wake(&h->phase, 1);
+    munmap(head, kHeaderBytes);
+    return true;
+  }
+  munmap(head, kHeaderBytes);
+  auto* ah = static_cast<ArenaHdr*>(base);
+  free_s->base = base;
+  free_s->map_bytes = bytes;
+  free_s->client_pid = ah->client_pid;
+  free_s->generation = ah->generation;
+  free_s->slot_count = ah->slot_count;
+  free_s->path = path;
+  const std::uint32_t client_pid = free_s->client_pid;
+  ah->server_pid = static_cast<std::uint32_t>(getpid());
+  // Arm the session BEFORE answering the hello: the client may submit
+  // the instant it sees kAccepted, and only a serving session drains.
+  // The kArmed store hands the Session (and arena) to the session
+  // thread — no shared field may be touched past this point (a fast
+  // disconnect can already be tearing the session down), hence the
+  // client_pid local above.
+  cnt().accepted.add();
+  obs::trace_instant(obs::TraceEventType::kIpcSession, free_idx, client_pid);
+  free_s->phase.store(Session::kArmed, std::memory_order_release);
+  ah->phase.store(kAccepted, std::memory_order_release);
+  futex_wake(&ah->phase, 1);
+  return true;
+}
+
+void ShmServer::session_loop(std::uint32_t idx) {
+  Session& s = *sessions_[idx];
+  while (running_.load(std::memory_order_acquire)) {
+    if (s.phase.load(std::memory_order_acquire) != Session::kArmed) {
+      std::this_thread::sleep_for(std::chrono::microseconds(cfg_.poll_us));
+      continue;
+    }
+    s.phase.store(Session::kServing, std::memory_order_relaxed);
+    serve(idx, s);
+    s.phase.store(Session::kIdle, std::memory_order_release);
+  }
+  // Armed-but-unserved sessions at shutdown are swept by close() after
+  // every thread is joined.
+}
+
+void ShmServer::serve(std::uint32_t idx, Session& s) {
+  auto* h = static_cast<ArenaHdr*>(s.base);
+  Slot* slots = arena_slots(s.base);
+  const int kv_client = cfg_.kv_client_base + static_cast<int>(idx);
+  const std::uint64_t lease_ns = cfg_.lease_us * 1000;
+  std::uint64_t last_hb = h->heartbeat.load(std::memory_order_relaxed);
+  std::uint64_t hb_change_ns = mono_ns();
+  std::vector<svc::Request> reqs(s.slot_count);
+  std::vector<std::uint32_t> picked;
+  picked.reserve(s.slot_count);
+
+  while (true) {
+    if (!running_.load(std::memory_order_acquire)) {
+      // Server shutdown under a live client: resolve anything published
+      // as kClosed so the client unblocks with a typed verdict.
+      teardown(s, kServerClosed);
+      return;
+    }
+    const std::uint32_t wp = h->phase.load(std::memory_order_acquire);
+    if (wp == kGoodbye) {
+      teardown(s, kServerClosed);
+      cnt().closed.add();
+      return;
+    }
+    // Deadman liveness: ESRCH is the fast path; a frozen heartbeat for
+    // a full lease catches silent death behind pid reuse and wedged
+    // clients (holding a session IS the thing the lease bounds).
+    const std::uint64_t hb = h->heartbeat.load(std::memory_order_relaxed);
+    const std::uint64_t now = mono_ns();
+    bool lease_expired = false;
+    if (hb != last_hb) {
+      last_hb = hb;
+      hb_change_ns = now;
+    } else if (now - hb_change_ns >= lease_ns) {
+      lease_expired = true;
+    }
+    if (lease_expired || pid_vanished(s.client_pid)) {
+      const std::uint64_t t0 = mono_ns();
+      const std::uint32_t shed = teardown(s, kServerClosed);
+      cnt().reclaims.add();
+      cnt().dead_shed.add(shed);
+      if (lease_expired) cnt().lease_expirations.add();
+      obs::trace_complete(obs::TraceEventType::kIpcReclaim, t0, idx, shed);
+      return;
+    }
+
+    // Drain every published request. Stamp validation before execution:
+    // a slot whose owner stamp disagrees with the header is from a dead
+    // incarnation (pid reuse over a recycled arena) and is shed, never
+    // executed.
+    const std::uint32_t doorbell =
+        h->req_doorbell.load(std::memory_order_acquire);
+    picked.clear();
+    for (std::uint32_t i = 0; i < s.slot_count; ++i) {
+      Slot& sl = slots[i];
+      if (sl.state.load(std::memory_order_acquire) != kSlotReq) continue;
+      if (sl.owner_pid != s.client_pid || sl.generation != s.generation) {
+        sl.status = kStClientGone;
+        sl.ok = 0;
+        sl.resp_seq = sl.seq;
+        sl.state.store(kSlotDone, std::memory_order_release);
+        futex_wake(&sl.state, 1);
+        cnt().dead_shed.add();
+        continue;
+      }
+      sl.state.store(kSlotExec, std::memory_order_relaxed);
+      svc::Request& r = reqs[i];
+      r = svc::Request{};
+      r.op.kind = static_cast<epoch::BatchOp::Kind>(sl.op);
+      r.op.key = sl.key;
+      r.op.value = sl.value;
+      picked.push_back(i);
+    }
+    if (picked.empty()) {
+      // Nothing to do: park on the doorbell, bounded by the poll tick
+      // so the liveness checks above stay fresh no matter what the
+      // client does (or fails to do) next.
+      futex_wait(&h->req_doorbell, doorbell, cfg_.poll_us * 1000);
+      continue;
+    }
+    const std::uint64_t t0 = mono_ns();
+    cnt().requests.add(picked.size());
+    // Pipeline the whole wavefront into the store before waiting: the
+    // store's per-client queue + batcher turn it into per-shard
+    // transactions (the same batching in-process clients get).
+    for (std::uint32_t i : picked) {
+      if (!store_.submit(kv_client, &reqs[i])) {
+        continue;  // admission verdict already resolved (kRejected/kClosed)
+      }
+    }
+    for (std::uint32_t i : picked) {
+      store_.wait(&reqs[i]);
+      Slot& sl = slots[i];
+      const svc::Request& r = reqs[i];
+      sl.status = static_cast<std::uint32_t>(r.status);
+      sl.ok = r.op.ok ? 1 : 0;
+      sl.out_value = r.op.out_value;
+      sl.complete_epoch = r.complete_epoch;
+      sl.resp_seq = sl.seq;
+      sl.state.store(kSlotDone, std::memory_order_release);
+      futex_wake(&sl.state, 1);
+    }
+    cnt().responses.add(picked.size());
+    cnt().serve_ns.record(mono_ns() - t0);
+  }
+}
+
+std::uint32_t ShmServer::teardown(Session& s, std::uint32_t wire_phase) {
+  auto* h = static_cast<ArenaHdr*>(s.base);
+  Slot* slots = arena_slots(s.base);
+  std::uint32_t shed = 0;
+  std::uint32_t orphans = 0;
+  for (std::uint32_t i = 0; i < s.slot_count; ++i) {
+    Slot& sl = slots[i];
+    const std::uint32_t st = sl.state.load(std::memory_order_acquire);
+    if (st == kSlotReq) {
+      // Published but never executed: SHED, not replayed. The client
+      // that could retry it is gone (or the server is closing); running
+      // it now would apply an op nobody can observe the verdict of.
+      // kStClientGone is forensic — visible in the arena file if a
+      // post-mortem maps it. On server shutdown a live client reads it
+      // as kStClosed.
+      sl.status = running_.load(std::memory_order_acquire)
+                      ? static_cast<std::uint32_t>(kStClientGone)
+                      : static_cast<std::uint32_t>(kStClosed);
+      sl.ok = 0;
+      sl.complete_epoch = 0;
+      sl.resp_seq = sl.seq;
+      sl.state.store(kSlotDone, std::memory_order_release);
+      ++shed;
+    } else if (st == kSlotDone) {
+      // Response written, never consumed (death between the response
+      // and the client's read — ClientFaultPoint::kAfterResponseWritten
+      // or kWhileParked after the reply landed).
+      ++orphans;
+    }
+    futex_wake(&sl.state, 1);
+  }
+  if (orphans != 0) cnt().orphans.add(orphans);
+  h->phase.store(wire_phase, std::memory_order_release);
+  futex_wake(&h->phase, 1 << 30);
+  h->req_doorbell.fetch_add(1, std::memory_order_release);
+  futex_wake(&h->req_doorbell, 1 << 30);
+  munmap(s.base, s.map_bytes);
+  s.base = nullptr;
+  s.map_bytes = 0;
+  // Dead clients cannot unlink their own arena; doing it here keeps the
+  // rendezvous directory from accumulating corpses. ENOENT (the client
+  // already unlinked on goodbye) is fine.
+  ::unlink(s.path.c_str());
+  s.path.clear();
+  s.client_pid = 0;
+  s.generation = 0;
+  s.slot_count = 0;
+  return shed;
+}
+
+}  // namespace bdhtm::ipc

@@ -1,0 +1,110 @@
+// Server side of the shared-memory transport (DESIGN.md §12): a
+// directory-scanning acceptor plus a fixed pool of session threads, one
+// per registry entry, each serving exactly one client arena against a
+// svc::KVStore. Sessions are leased: a client that stops heartbeating
+// (or whose pid vanishes) is reclaimed — published-but-unexecuted
+// requests are shed, the arena is unmapped and unlinked, and the
+// session slot is returned to the acceptor. No client behaviour,
+// including SIGKILL at any protocol point, can wedge a session thread:
+// every wait on client-shared state is bounded by the poll tick.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ipc/wire.hpp"
+#include "svc/kvstore.hpp"
+
+namespace bdhtm::ipc {
+
+class ShmServer {
+ public:
+  struct Config {
+    /// Rendezvous directory the acceptor scans for client arenas.
+    std::string dir;
+    /// Session registry size == fixed session-thread count. Threads are
+    /// long-lived (common/threading.hpp ids are never recycled, so
+    /// thread-per-connection churn would exhaust the id space).
+    std::uint32_t max_sessions = 8;
+    /// First KVStore client id used by sessions; session i submits as
+    /// kv client (kv_client_base + i). The store must be configured
+    /// with at least kv_client_base + max_sessions client queues.
+    int kv_client_base = 0;
+    /// Deadman lease: a session whose heartbeat does not advance for
+    /// this long is reclaimed (ESRCH on the client pid short-circuits).
+    std::uint64_t lease_us = 2'000'000;
+    /// Poll tick bounding every wait (acceptor scan period, session
+    /// doorbell park, liveness re-check period).
+    std::uint64_t poll_us = 2'000;
+  };
+
+  /// Point-in-time registry counters (monotonic; also exported as
+  /// ipc.* in the global obs registry).
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t refused = 0;
+    std::uint64_t closed = 0;        // graceful goodbyes
+    std::uint64_t reclaims = 0;      // dead-client reclaims
+    std::uint64_t dead_shed = 0;     // published requests shed at reclaim
+    std::uint64_t orphans = 0;       // responses written, never consumed
+    std::uint64_t lease_expirations = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t responses = 0;
+  };
+
+  ShmServer(svc::KVStore& store, Config cfg);
+  ~ShmServer();
+  ShmServer(const ShmServer&) = delete;
+  ShmServer& operator=(const ShmServer&) = delete;
+
+  /// Stop accepting, tear down every session (pending published
+  /// requests resolve kClosed so live clients unblock), join all
+  /// threads. Does NOT close the underlying store. Idempotent.
+  void close();
+
+  Stats stats() const;
+  std::uint32_t active_sessions() const;
+
+ private:
+  struct Session {
+    // Handshake: acceptor publishes a mapped arena by storing
+    // kArmed; the session thread consumes it and stores kIdle back
+    // when the session ends.
+    enum : std::uint32_t { kIdle = 0, kArmed = 1, kServing = 2 };
+    std::atomic<std::uint32_t> phase{kIdle};
+    void* base = nullptr;
+    std::size_t map_bytes = 0;
+    std::uint32_t client_pid = 0;
+    std::uint64_t generation = 0;
+    std::uint32_t slot_count = 0;
+    std::string path;
+    std::thread thread;
+  };
+
+  void acceptor_loop();
+  void session_loop(std::uint32_t idx);
+  void serve(std::uint32_t idx, Session& s);
+  /// Tear down session `s`'s arena with final phase `ph`; sheds any
+  /// still-published requests (status kStClientGone/kStClosed written
+  /// for forensics). Returns the number of slots shed.
+  std::uint32_t teardown(Session& s, std::uint32_t wire_phase);
+  bool try_accept(const std::string& path);
+
+  svc::KVStore& store_;
+  Config cfg_;
+  std::atomic<bool> running_{true};
+  // Serializes close(): a second concurrent closer queues behind the
+  // first and returns only once every thread is joined (same contract
+  // as svc::KVStore::close()).
+  std::mutex close_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::thread acceptor_;
+  std::vector<std::string> handled_;  // acceptor-private: seen paths
+};
+
+}  // namespace bdhtm::ipc

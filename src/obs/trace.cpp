@@ -72,6 +72,8 @@ constexpr TypeInfo kTypes[static_cast<int>(TraceEventType::kNumTypes)] = {
     {"recovery.scan", "epoch", "scanned", "quarantined", true},
     {"svc.batch", "svc", "shard", "ops", true},
     {"svc.shed", "svc", "client", "capacity", false},
+    {"ipc.session", "ipc", "session", "pid", false},
+    {"ipc.reclaim", "ipc", "session", "shed", true},
 };
 
 }  // namespace

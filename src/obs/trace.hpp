@@ -34,6 +34,8 @@ enum class TraceEventType : std::uint16_t {
   kRecovery,          // complete; a=blocks scanned, b=blocks quarantined
   kSvcBatch,          // complete; a=shard index, b=ops in the batch
   kSvcShed,           // instant;  a=client index, b=queue capacity
+  kIpcSession,        // instant;  a=session index, b=client pid
+  kIpcReclaim,        // complete; a=session index, b=slots shed
   kNumTypes,
 };
 

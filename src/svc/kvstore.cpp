@@ -24,6 +24,8 @@ const char* status_name(Status s) {
       return "closed";
     case Status::kUnsupported:
       return "unsupported";
+    case Status::kClientGone:
+      return "client_gone";
   }
   return "?";
 }
@@ -340,15 +342,24 @@ void KVStore::sweep_rejected() {
 void KVStore::close() {
   closed_.store(true, std::memory_order_seq_cst);
   std::atomic_thread_fence(std::memory_order_seq_cst);
+  // Everything after the closed_ publication happens under close_mu_, so
+  // a second concurrent close() simply queues behind the first and
+  // returns once the drain is complete (idempotent: joined_/swept_ flags
+  // make the join and the straggler sweep single-shot). Joining outside
+  // the mutex raced two closers into std::thread::join() on the same
+  // handles — one of them UB. No deadlock risk: workers never take
+  // close_mu_, and submit()'s cold path holds it only briefly to sweep.
+  std::lock_guard<std::mutex> g(close_mu_);
   if (!joined_) {
     for (auto& t : workers_) {
       if (t.joinable()) t.join();
     }
     joined_ = true;
   }
-  std::lock_guard<std::mutex> g(close_mu_);
-  sweep_rejected();
-  swept_ = true;
+  if (!swept_) {
+    sweep_rejected();
+    swept_ = true;
+  }
 }
 
 std::size_t KVStore::recover(int threads) {

@@ -47,6 +47,8 @@ enum class Status : std::uint8_t {
   kRejected,     // shed by admission control (queue full / close sweep)
   kClosed,       // submitted after close()
   kUnsupported,  // e.g. scan on the hash backend
+  kClientGone,   // ipc: the submitting client process died before the
+                 // response could be delivered (slot reclaimed)
 };
 
 const char* status_name(Status s);

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <thread>
@@ -19,6 +20,7 @@
 #include "hash/bd_spash.hpp"
 #include "htm/engine.hpp"
 #include "htm/fallback.hpp"
+#include "htm/retry.hpp"
 #include "nvm/device.hpp"
 
 namespace bdhtm {
@@ -316,6 +318,105 @@ TEST_F(FallbackPolicyTest, StripedFallbackPathIsCrashConsistent) {
       ASSERT_FALSE(rec.find(k).has_value()) << "phantom key " << k;
     }
   }
+}
+
+// ---- Watchdog × striped fallback interaction ----
+
+// The advancer watchdog (DESIGN.md §10) and the striped fallback
+// (DESIGN.md §11) must compose: with the background advancer stalled and
+// a fallback holder parked MID-critical-section on its stripes, worker
+// threads' watchdog rescues must still drive epoch transitions inline —
+// the transition machinery takes no fallback stripes and the holder
+// needs no epoch progress, so neither side can wait on the other. A
+// contender whose footprint overlaps the parked holder times out its
+// bounded wait (wait_timeout attribution, satellite #2) and completes
+// through the fallback once the holder leaves. The TSan lane runs this
+// file, so the cross-thread interleaving is also raced under the
+// sanitizer.
+TEST_F(FallbackPolicyTest, WatchdogTripsWhileStripedHolderMidCriticalSection) {
+  nvm::DeviceConfig dc;
+  dc.capacity = 64ull << 20;
+  nvm::Device dev(dc);
+  alloc::PAllocator pa(dev);
+  epoch::EpochSys::Config cfg;
+  cfg.start_advancer = true;
+  cfg.epoch_length_us = 1000;
+  cfg.watchdog_timeout_us = 3000;
+  epoch::EpochSys es(pa, cfg);
+  es.stall_advancer_for_testing(true);  // dead/descheduled advancer
+
+  FallbackPolicy pol(8);
+  std::atomic<bool> holder_in{false};
+  alignas(8) std::uint64_t contended = 0;
+
+  // Holder: a fallback critical section on stripes {0,1} parked for a
+  // FIXED duration well past the watchdog deadline. Fixed — not
+  // flag-released — because an inline advance of a later epoch can
+  // legitimately block behind this op (step (1) of the transition waits
+  // for e-1 stragglers); a flag set after the main loop would deadlock
+  // the test itself, which is exactly the hang this test exists to rule
+  // out of the PRODUCT.
+  std::thread holder([&] {
+    es.beginOp();
+    {
+      PolicyGuard g(pol, 0b0011);
+      holder_in.store(true, std::memory_order_release);
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    }
+    es.endOp();
+  });
+  while (!holder_in.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+
+  // Contender: overlapping footprint. Its bounded total-wait deadline
+  // expires long before the holder leaves, so it must attribute a
+  // wait_timeout fallback and then complete behind the holder.
+  std::thread contender([&] {
+    es.beginOp();
+    htm::ElideOptions opts;
+    opts.max_wait_us = 500;
+    opts.max_lock_waits = 1 << 20;
+    const int r = htm::elide<int>(
+        pol, 0b0001,
+        [&](auto& acc) {
+          acc.store(&contended, std::uint64_t{11});
+          return 12;
+        },
+        opts);
+    EXPECT_EQ(r, 12);
+    es.endOp();
+  });
+
+  // Main thread keeps operating on epoch state; durability must keep
+  // progressing inline while the holder is parked on its stripes.
+  const auto before = es.persisted_epoch();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (es.stats().inline_advances.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    es.beginOp();
+    void* p = es.pNew(16);
+    const std::uint64_t v = 1;
+    es.pSet(p, &v, sizeof(v));
+    epoch::EpochSys::set_epoch_nontx(dev, p, es.current_epoch());
+    es.pTrack(p);
+    es.endOp();
+  }
+  holder.join();
+  contender.join();
+
+  EXPECT_GT(es.stats().watchdog_trips.load(), 0u) << "stall never detected";
+  EXPECT_GT(es.stats().inline_advances.load(), 0u)
+      << "no inline transition while the holder was mid-critical-section";
+  EXPECT_GT(es.persisted_epoch(), before)
+      << "durability made no progress in degraded mode";
+  EXPECT_EQ(contended, 11u);
+  const auto s = htm::collect_stats();
+  EXPECT_GE(s.fallbacks_wait_timeout, 1u);
+  EXPECT_EQ(pol.held_by_this_thread(), 0u);
+  es.stall_advancer_for_testing(false);
+  // EpochSys destructor must still join the parked advancer cleanly.
 }
 
 }  // namespace

@@ -527,6 +527,98 @@ TEST_F(ObsElideTest, LockWaitBoundCountsAsLockwaitFallback) {
   EXPECT_EQ(s.fallback_acquisitions, 2u);  // holder + worker fallback
 }
 
+TEST_F(ObsElideTest, WaitDeadlineCountsAsWaitTimeoutFallback) {
+  htm::ElidedLock lock;
+  lock.acquire();  // holder sits on the lock far longer than the deadline
+  htm::ElideOptions opts;
+  opts.max_wait_us = 1'000;        // 1ms total-wait deadline...
+  opts.max_lock_waits = 1 << 20;   // ...and the count bound can't trip
+  alignas(8) std::uint64_t x = 0;
+  const std::uint64_t before =
+      obs::Registry::global().counter("htm.fallback.wait_timeout").total();
+  std::thread worker([&] {
+    const int r = htm::elide<int>(
+        lock,
+        [&](auto& acc) {
+          acc.store(&x, std::uint64_t{5});
+          return 6;
+        },
+        opts);
+    EXPECT_EQ(r, 6);
+  });
+  // The worker times out its total-wait budget, attributes the fallback
+  // to wait_timeout (NOT lockwait — deadline beats count in priority),
+  // then blocks acquiring the lock until the holder releases.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  lock.release();
+  worker.join();
+  EXPECT_EQ(x, 5u);
+  const auto s = htm::collect_stats();
+  EXPECT_EQ(s.fallbacks_wait_timeout, 1u);
+  EXPECT_EQ(s.fallbacks_lockwait, 0u);
+  EXPECT_EQ(s.fallbacks_exhausted, 0u);
+  EXPECT_EQ(s.fallback_acquisitions, 2u);  // holder + worker fallback
+  const std::uint64_t after =
+      obs::Registry::global().counter("htm.fallback.wait_timeout").total();
+  EXPECT_EQ(after - before, 1u);
+}
+
+TEST_F(ObsElideTest, WaitDeadlineAppliesToStripedPolicyElide) {
+  htm::FallbackPolicy pol(4);
+  const htm::StripeMask mask = pol.mask_of_hash(1);
+  pol.acquire(mask);  // holder pins the worker's stripe
+  htm::ElideOptions opts;
+  opts.max_wait_us = 1'000;
+  opts.max_lock_waits = 1 << 20;
+  alignas(8) std::uint64_t x = 0;
+  std::thread worker([&] {
+    const int r = htm::elide<int>(
+        pol, mask,
+        [&](auto& acc) {
+          acc.store(&x, std::uint64_t{7});
+          return 8;
+        },
+        opts);
+    EXPECT_EQ(r, 8);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  pol.release(mask);
+  worker.join();
+  EXPECT_EQ(x, 7u);
+  const auto s = htm::collect_stats();
+  EXPECT_EQ(s.fallbacks_wait_timeout, 1u);
+  EXPECT_EQ(s.fallbacks_lockwait, 0u);
+  EXPECT_EQ(s.fallback_acquisitions, 2u);
+}
+
+TEST_F(ObsElideTest, ZeroWaitDeadlineMeansUnbounded) {
+  htm::ElidedLock lock;
+  lock.acquire();
+  htm::ElideOptions opts;
+  opts.max_wait_us = 0;           // opt back into the unbounded paper wait
+  opts.max_lock_waits = 1 << 20;
+  alignas(8) std::uint64_t x = 0;
+  std::thread worker([&] {
+    const int r = htm::elide<int>(
+        lock,
+        [&](auto& acc) {
+          acc.store(&x, std::uint64_t{1});
+          return 2;
+        },
+        opts);
+    EXPECT_EQ(r, 2);
+  });
+  // Holder releases after well past the default deadline's order of
+  // magnitude at this scale; the worker must still be waiting (not
+  // timed out) and then commit transactionally.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  lock.release();
+  worker.join();
+  EXPECT_EQ(x, 1u);
+  const auto s = htm::collect_stats();
+  EXPECT_EQ(s.fallbacks_wait_timeout, 0u);
+}
+
 TEST_F(ObsElideTest, TaxonomySplitsWellKnownExplicitCodes) {
   alignas(8) std::uint64_t x = 0;
   (void)x;

@@ -433,5 +433,62 @@ TEST(Svc, SubmitShutdownRace) {
   EXPECT_EQ(resolved.load(), 4u * 256u) << "every request resolved";
 }
 
+TEST(Svc, CloseIsIdempotentAndConcurrent) {
+  // Regression for the ipc server's shutdown path, where several session
+  // threads and the owner can reach KVStore::close() concurrently: every
+  // close() call — first, racing, or repeated — must return only after
+  // the drain completed (workers joined, queues swept), and the store
+  // must be deterministically kClosed afterwards. The old close() joined
+  // workers unguarded, so a second caller double-joined or returned
+  // while the first was still draining.
+  SvcWorld w;
+  svc::KVStoreConfig cfg = small_cfg(svc::Backend::kHash);
+  cfg.clients = 4;
+  cfg.workers = 2;
+  cfg.shards = 2;
+  cfg.queue_capacity = 16;
+  svc::KVStore store(*w.es, cfg);
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> resolved{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(0xc105e + c);
+      std::vector<svc::Request> reqs(128);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (auto& r : reqs) {
+        const std::uint64_t k = rng.next_below(512);
+        r = svc::Request::put(k, k + 1);
+        store.submit(c, &r);
+      }
+      for (auto& r : reqs) {
+        store.wait(&r);
+        resolved.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> closers;
+  for (int i = 0; i < 3; ++i) {
+    closers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      store.close();
+      // Post-condition of ANY close() returning: admission is closed
+      // AND the sweep already ran, so a late submit resolves kClosed
+      // synchronously. This is what the second/third closer used to
+      // break by returning before the first finished draining.
+      svc::Request late = svc::Request::get(1);
+      EXPECT_FALSE(store.submit(0, &late));
+      EXPECT_EQ(late.status, svc::Status::kClosed);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : closers) t.join();
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(resolved.load(), 4u * 128u) << "every request resolved";
+  store.close();  // sequential repeat stays a no-op
+}
+
 }  // namespace
 }  // namespace bdhtm

@@ -1,0 +1,20 @@
+// txlint-scope: ipc-client
+//
+// Known-bad: a file in ipc-client scope (the shared-memory transport's
+// client side, which runs in an untrusted remote process) reaching
+// durable-core entry points. The client owns no NVM: requests cross the
+// arena as plain values and the SERVER runs the epoch envelope. A
+// client-side pNew/beginOp means durable state in a process the deadman
+// reclaim is allowed to SIGKILL at any instruction.
+// txlint-expect: ipc-client-nvm
+// txlint-expect: ipc-client-nvm
+
+int submit_put(epoch::EpochSys& es, Slot* s, std::uint64_t k,
+               std::uint64_t v) {
+  es.beginOp();  // BUG: epoch envelope in the client process
+  void* rec = es.pNew(16);  // BUG: durable allocation in the client process
+  (void)rec;
+  s->key = k;
+  s->value = v;
+  return 0;
+}

@@ -1,0 +1,17 @@
+// txlint-scope: ipc-client
+//
+// The correct client-side shape (src/ipc/client.cpp): fill the slot's
+// plain-value payload, publish with a release store of the slot state,
+// ring the doorbell futex. No durable-core call anywhere — the server
+// session thread is the only durability authority. Must lint clean.
+// txlint-expect: none
+
+int submit_put(ArenaHdr* hdr, Slot* s, std::uint64_t k, std::uint64_t v) {
+  s->op = kOpPut;
+  s->key = k;
+  s->value = v;
+  s->state.store(kSlotReq, std::memory_order_release);
+  hdr->req_doorbell.fetch_add(1, std::memory_order_release);
+  futex_wake(&hdr->req_doorbell, 1);
+  return 0;
+}

@@ -72,6 +72,7 @@ enum class Rule {
   kIrrevocableInTx,
   kUnbalancedEpochOp,
   kFallbackStripeOrder,
+  kIpcClientNvm,
   kNumRules,
 };
 
@@ -91,6 +92,8 @@ const char* rule_name(Rule r) {
       return "unbalanced-epoch-op";
     case Rule::kFallbackStripeOrder:
       return "fallback-stripe-order";
+    case Rule::kIpcClientNvm:
+      return "ipc-client-nvm";
     default:
       return "?";
   }
@@ -158,6 +161,17 @@ const std::set<std::string, std::less<>> kIrrevocableIdents = {
     "clog",
 };
 
+// Durable-core entry points forbidden anywhere in a file marked
+// `// txlint-scope: ipc-client` (DESIGN.md §12): the shared-memory
+// transport's client side runs in an untrusted remote process that must
+// never touch NVM, the epoch table, or allocator state — the server is
+// the only durability authority. The ipc_client link line enforces the
+// same boundary dynamically; this rule catches it at review time.
+const std::set<std::string, std::less<>> kIpcClientForbidden = {
+    "pNew",   "pRetire", "pDelete", "pTrack",
+    "pSet",   "beginOp", "endOp",   "abortOp",
+};
+
 // ---------------------------------------------------------------------------
 // Lexer
 
@@ -178,6 +192,9 @@ struct FileLex {
   std::vector<std::pair<int, Rule>> expect; // (line, rule) from txlint-expect
   bool expect_none = false;                 // file carries `expect: none`
   bool has_expectations = false;
+  // File carries `txlint-scope: ipc-client`: client side of the shm
+  // transport; durable-core calls are flagged (ipc-client-nvm).
+  bool ipc_client_scope = false;
 };
 
 bool ident_char(char c) {
@@ -201,6 +218,18 @@ void parse_comment(std::string_view body, int line, FileLex* fx) {
   body = trim(body);
   constexpr std::string_view kAllow = "txlint: allow(";
   constexpr std::string_view kExpect = "txlint-expect:";
+  constexpr std::string_view kScope = "txlint-scope:";
+  if (auto pos = body.find(kScope); pos != std::string_view::npos) {
+    auto name = trim(body.substr(pos + kScope.size()));
+    if (name == "ipc-client") {
+      fx->ipc_client_scope = true;
+    } else {
+      std::fprintf(stderr,
+                   "txlint: warning: line %d: unknown scope '%.*s' in "
+                   "txlint-scope\n",
+                   line, static_cast<int>(name.size()), name.data());
+    }
+  }
   if (auto pos = body.find(kAllow); pos != std::string_view::npos) {
     auto rest = body.substr(pos + kAllow.size());
     auto close = rest.find(')');
@@ -717,6 +746,17 @@ struct Analyzer {
       if (open < 0) continue;
       const std::string& name = tk.text;
       const bool qualified = tok_is(i - 1, "::");
+
+      // ipc-client-nvm: in a `txlint-scope: ipc-client` file, NO durable
+      // -core call is reachable, transaction body or not — the remote
+      // client process owns no NVM state (DESIGN.md §12).
+      if (fx.ipc_client_scope && kIpcClientForbidden.count(name)) {
+        report(tk.line, Rule::kIpcClientNvm,
+               "'" + name +
+                   "' (durable-core entry point) in ipc-client scope: the "
+                   "shm transport's client side must stay NVM-free");
+        continue;
+      }
 
       // Fallback protocol (fallback-stripe-order, two obligations):
       //
