@@ -438,6 +438,13 @@ inline int finish() {
     w.value(total);
   }
   w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [gname, gval] : snap.gauges) {
+    w.key(gname);
+    w.value(gval);
+  }
+  w.end_object();
   w.key("histograms");
   w.begin_object();
   for (const auto& [hname, hist] : snap.histograms) {

@@ -152,6 +152,28 @@ struct Cell {
   double p50_us = 0, p99_us = 0;
 };
 
+/// Per-cell persistence-lag columns. The epoch advancer records one
+/// `epoch.persistence_lag_us` sample per published epoch into the
+/// process-global registry (DESIGN.md §13): snapshot the histogram
+/// after the cell's world has closed, emit p50/p99 rows, and reset it
+/// so the next cell's distribution starts clean. The final cell skips
+/// the reset so the registry dump in BENCH_fig12_ipc.json still
+/// carries a non-empty lag histogram.
+void record_lag_rows(const char* table, const std::string& prefix,
+                     bool reset) {
+  auto& h = obs::Registry::global().histogram("epoch.persistence_lag_us");
+  const obs::HistogramSnapshot s = h.snapshot();
+  const double p50 = s.quantile(0.50);
+  const double p99 = s.quantile(0.99);
+  std::printf("  %-11s persistence lag  p50 %7.0f us  p99 %7.0f us  "
+              "(%llu epochs)\n",
+              prefix.c_str(), p50, p99,
+              static_cast<unsigned long long>(s.count));
+  bench::record_row(table, prefix + " plag p50", kClients, p50, "us");
+  bench::record_row(table, prefix + " plag p99", kClients, p99, "us");
+  if (reset) h.reset();
+}
+
 // ---- In-process reference ----
 
 Cell run_in_process(std::uint64_t ms) {
@@ -394,6 +416,7 @@ int main(int argc, char** argv) {
                     "us");
   bench::record_row("transport", "in-process p99", kClients, inproc.p99_us,
                     "us");
+  record_lag_rows("transport", "in-process", /*reset=*/true);
 
   const Cell shm = run_shm(ms);
   std::printf("transport=shm         %7.3f Mops  p50 %7.1f us  p99 %7.1f us\n",
@@ -401,6 +424,7 @@ int main(int argc, char** argv) {
   bench::record_row("transport", "shm", kClients, shm.mops, "Mops");
   bench::record_row("transport", "shm p50", kClients, shm.p50_us, "us");
   bench::record_row("transport", "shm p99", kClients, shm.p99_us, "us");
+  record_lag_rows("transport", "shm", /*reset=*/true);
 
   const StormResult storm = run_kill_storm(ms);
   std::printf(
@@ -423,6 +447,7 @@ int main(int argc, char** argv) {
                     static_cast<double>(storm.stats.orphans), "count");
   bench::record_row("kill storm", "wedged_workers", kClients,
                     static_cast<double>(storm.wedged_workers), "count");
+  record_lag_rows("kill storm", "storm", /*reset=*/false);
 
   return bench::finish();
 }

@@ -56,6 +56,8 @@ const char* rule_name(Rule r) {
       return "unbalanced-epoch-op";
     case Rule::kFallbackStripeOrder:
       return "fallback-stripe-order";
+    case Rule::kNoObsInTx:
+      return "no-obs-in-tx";
     case Rule::kNumRules:
       break;
   }

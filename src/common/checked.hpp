@@ -28,6 +28,7 @@ enum class Rule : int {
   kIrrevocableInTx,      // "irrevocable-in-tx"
   kUnbalancedEpochOp,    // "unbalanced-epoch-op"
   kFallbackStripeOrder,  // "fallback-stripe-order"
+  kNoObsInTx,            // "no-obs-in-tx"
   kNumRules,
 };
 

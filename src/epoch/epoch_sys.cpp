@@ -74,7 +74,9 @@ EpochSys::EpochSys(alloc::PAllocator& pa, const Config& cfg)
   watchdog_timeout_us_ = cfg.watchdog_timeout_us;
   watchdog_enabled_ =
       cfg.start_advancer && cfg.watchdog_timeout_us != kWatchdogDisabled;
-  last_transition_ns_.store(now_ns(), std::memory_order_relaxed);
+  const std::uint64_t t_start = now_ns();
+  last_transition_ns_.store(t_start, std::memory_order_relaxed);
+  for (auto& b : epoch_begin_ns_) b.store(t_start, std::memory_order_relaxed);
 
   if (cfg.start_advancer) {
     advancer_ = std::jthread([this](std::stop_token st) {
@@ -388,6 +390,24 @@ void EpochSys::advance_locked(const std::stop_token& st) {
   }
   global_epoch_.store(e + 1, std::memory_order_seq_cst);
 
+  // Persistence-lag accounting: publishing persisted = e+1 just made
+  // epoch e-1 durable; its age (now - its begin) is one sample of how
+  // stale a crash at this instant could have left us. Stamp the new
+  // active epoch's begin time for future samples.
+  {
+    const std::uint64_t t_pub = now_ns();
+    epoch_begin_ns_[(e + 1) % 4].store(t_pub, std::memory_order_relaxed);
+    const std::uint64_t began =
+        epoch_begin_ns_[(e - 1) % 4].load(std::memory_order_relaxed);
+    const std::uint64_t lag_us = t_pub > began ? (t_pub - began) / 1000 : 0;
+    static auto& lag_hist =
+        obs::Registry::global().histogram("epoch.persistence_lag_us");
+    static auto& lag_gauge =
+        obs::Registry::global().gauge("epoch.persistence_lag_us");
+    lag_hist.record(lag_us);
+    lag_gauge.set(static_cast<std::int64_t>(lag_us));
+  }
+
   // (5) Reclaim blocks retired in epoch e-2. Their replacements are
   // durable (flushed at the previous transition), the persisted counter
   // proves recovery will not resurrect them, AND no running operation
@@ -508,7 +528,14 @@ std::uint64_t EpochSys::flush_stolen_buffers(int nthreads) {
                                  std::memory_order_relaxed);
   stats_.lines_deduped.fetch_add(raw_lines - flush_lines,
                                  std::memory_order_relaxed);
-  stats_.flush_ns.record(now_ns() - t_flush);
+  const std::uint64_t flush_took = now_ns() - t_flush;
+  stats_.flush_ns.record(flush_took);
+  // The service-facing latency-decomposition family (svc.lat.*) needs
+  // the flush leg too; it physically happens here, on the advancer, so
+  // mirror it into the global registry alongside the per-instance stat.
+  static auto& svc_flush_hist =
+      obs::Registry::global().histogram("svc.lat.flush_ns");
+  svc_flush_hist.record(flush_took);
   obs::trace_complete(obs::TraceEventType::kEpochFlush, t_flush, runs_.size(),
                       flush_lines);
   return n_ranges;

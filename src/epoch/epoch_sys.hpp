@@ -405,6 +405,24 @@ class EpochSys {
 
   std::uint64_t persisted_epoch() const;
 
+  /// Wallclock age of the oldest buffered-but-not-yet-durable epoch
+  /// (persisted counter p means epochs <= p-2 are durable, so p-1 is the
+  /// oldest epoch whose buffered writes could still be lost by a crash).
+  /// This is the paper's buffered-durability staleness bound made
+  /// observable: under a healthy advancer it stays within a small
+  /// multiple of the epoch length; a growing lag is the first symptom of
+  /// a stalled advancer or an overloaded flush pipeline. Sampled by the
+  /// stats publisher into the `epoch.persistence_lag_us` gauge; each
+  /// transition also records the just-retired epoch's age into the
+  /// histogram of the same name.
+  std::uint64_t persistence_lag_ns() const {
+    const std::uint64_t p = persisted_epoch();
+    const std::uint64_t begin =
+        epoch_begin_ns_[(p - 1) % 4].load(std::memory_order_relaxed);
+    const std::uint64_t now = now_ns();
+    return now > begin ? now - begin : 0;
+  }
+
   const EpochStats& stats() const { return stats_; }
   alloc::PAllocator& allocator() { return pa_; }
   nvm::Device& device() { return pa_.device(); }
@@ -488,6 +506,12 @@ class EpochSys {
 
   EpochStats stats_;
   RecoveryReport last_recovery_{};
+
+  // ---- Persistence-lag sampling ----
+  // Wallclock begin time of epoch i at slot i % 4; 4 slots suffice
+  // because only epochs p-2 .. p+1 are ever consulted. Written at each
+  // publish (under advance_mu_), read lock-free by persistence_lag_ns().
+  std::atomic<std::uint64_t> epoch_begin_ns_[4];
 
   // ---- Advancer watchdog ----
   bool watchdog_enabled_ = false;

@@ -496,6 +496,16 @@ void note_fallback_stripes(int n, std::uint64_t wait_ns) {
 
 bool in_txn() { return detail::ctx().active; }
 
+namespace {
+// Hand obs the "inside a transaction?" predicate for its BDHTM_CHECKED
+// no-obs-in-tx mirror (obs cannot include htm; the dependency points the
+// other way). A function-pointer store is safe at static-init time.
+[[maybe_unused]] const bool g_obs_probe_installed = [] {
+  obs::detail::set_in_tx_probe(&in_txn);
+  return true;
+}();
+}  // namespace
+
 void abort_current(unsigned status_bits) {
   detail::TxCtx& c = detail::ctx();
   assert(c.active);

@@ -80,6 +80,7 @@ ShmClient::Err ShmClient::connect(const std::string& dir,
   h->client_pid = static_cast<std::uint32_t>(getpid());
   h->generation = generation_;
   h->heartbeat.store(1, std::memory_order_relaxed);
+  h->client_hello_ns = mono_ns();
   // Commit point: everything above must be visible before the hello.
   h->phase.store(kHello, std::memory_order_release);
 
@@ -126,6 +127,13 @@ int ShmClient::submit(WireOp op, std::uint64_t key, std::uint64_t value) {
   s.key = key;
   s.value = value;
   s.resp_seq = 0;
+  // End-to-end span identity + client-side submit stamp; the server
+  // copies both into the svc::Request so the merged trace ties the whole
+  // lifecycle to one id. pid<<32|seq is unique per live client and per
+  // request (seq never recycles within a session).
+  s.span_id = (static_cast<std::uint64_t>(h->client_pid) << 32) |
+              (s.seq & 0xffffffffULL);
+  s.submit_ns = mono_ns();
   fault_.hit(ClientFaultPoint::kBeforePublish);
   // Publish: the request's commit point. A death before this line left
   // nothing visible; after it, a well-formed request.
@@ -177,6 +185,14 @@ ShmClient::Err ShmClient::call(WireOp op, std::uint64_t key,
   const int slot = submit(op, key, value);
   if (slot < 0) return Err::kNoSlot;
   return wait(slot, out);
+}
+
+std::uint64_t ShmClient::span_of(int slot) const {
+  if (base_ == nullptr || slot < 0 ||
+      static_cast<std::uint32_t>(slot) >= slots_n_) {
+    return 0;
+  }
+  return arena_slots(base_)[static_cast<std::uint32_t>(slot)].span_id;
 }
 
 void ShmClient::heartbeat() {

@@ -76,6 +76,13 @@ class ShmClient {
   void disconnect();
 
   bool connected() const { return base_ != nullptr; }
+
+  /// Span id of the request currently (or last) published in `slot`,
+  /// 0 if none. The request payload is client-owned, so the submitting
+  /// thread may read it at any point of the slot lifecycle — the span
+  /// recorder uses it to label its client-side stage events.
+  std::uint64_t span_of(int slot) const;
+
   std::uint32_t slot_count() const { return slots_n_; }
   std::uint64_t generation() const { return generation_; }
   const std::string& path() const { return path_; }

@@ -91,6 +91,46 @@ ShmServer::ShmServer(svc::KVStore& store, Config cfg)
     sessions_[i]->thread = std::thread([this, i] { session_loop(i); });
   }
   acceptor_ = std::thread([this] { acceptor_loop(); });
+  if (!cfg_.stats_path.empty() && stats_pub_.create(cfg_.stats_path)) {
+    stats_thread_ = std::thread([this] { stats_loop(); });
+  }
+}
+
+void ShmServer::stats_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    publish_stats();
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(cfg_.stats_period_us));
+  }
+  publish_stats();  // final snapshot: --once readers see the full totals
+}
+
+// Monitoring-grade reads: session fields (client_pid, ops) are written
+// by the acceptor/session threads without a lock; a stats row may be a
+// tick stale or catch a session mid-handoff, which is the usual
+// monitoring contract. The annotation keeps TSan from flagging these
+// deliberate unsynchronized samples in the sanitizer lanes.
+BDHTM_NO_SANITIZE_THREAD
+void ShmServer::publish_stats() {
+  // Live gauges are sampled at the publish tick (they are "right now"
+  // values, not accumulations): the store's persistence lag and the
+  // session registry occupancy.
+  obs::Registry& reg = obs::Registry::global();
+  reg.gauge("epoch.persistence_lag_us")
+      .set(static_cast<std::int64_t>(
+          store_.epoch_sys().persistence_lag_ns() / 1000));
+  reg.gauge("ipc.active_sessions")
+      .set(static_cast<std::int64_t>(active_sessions()));
+
+  std::vector<obs::StatsPublisher::SessionRow> rows;
+  rows.reserve(sessions_.size());
+  for (std::uint32_t i = 0; i < sessions_.size(); ++i) {
+    const Session& s = *sessions_[i];
+    rows.push_back({"sess." + std::to_string(i), s.client_pid,
+                    s.phase.load(std::memory_order_acquire),
+                    s.ops.load(std::memory_order_relaxed)});
+  }
+  stats_pub_.publish(reg.snapshot(), rows);
 }
 
 ShmServer::~ShmServer() { close(); }
@@ -100,6 +140,7 @@ void ShmServer::close() {
   if (!running_.load(std::memory_order_acquire)) return;  // already closed
   running_.store(false, std::memory_order_release);
   if (acceptor_.joinable()) acceptor_.join();
+  if (stats_thread_.joinable()) stats_thread_.join();
   for (auto& s : sessions_) {
     if (s->thread.joinable()) s->thread.join();
   }
@@ -247,6 +288,10 @@ bool ShmServer::try_accept(const std::string& path) {
   free_s->path = path;
   const std::uint32_t client_pid = free_s->client_pid;
   ah->server_pid = static_cast<std::uint32_t>(getpid());
+  // Clock handshake: pairs with the client's client_hello_ns stamp; the
+  // difference bounds how far apart the two processes' span timestamps
+  // can be for transport reasons (one shared CLOCK_MONOTONIC, no offset).
+  ah->server_accept_ns = mono_ns();
   // Arm the session BEFORE answering the hello: the client may submit
   // the instant it sees kAccepted, and only a serving session drains.
   // The kArmed store hands the Session (and arena) to the session
@@ -347,6 +392,15 @@ void ShmServer::serve(std::uint32_t idx, Session& s) {
       r.op.kind = static_cast<epoch::BatchOp::Kind>(sl.op);
       r.op.key = sl.key;
       r.op.value = sl.value;
+      // Carry the client's span identity and submit stamp through the
+      // svc layer (same host clock on both sides). The req.queue span
+      // covers client publish -> this pickup: transport + doorbell wake.
+      r.span_id = sl.span_id;
+      r.t_origin_ns = sl.submit_ns;
+      if (sl.span_id != 0 && obs::tracing_enabled()) {
+        obs::trace_complete(obs::TraceEventType::kReqQueue, sl.submit_ns,
+                            sl.span_id, i);
+      }
       picked.push_back(i);
     }
     if (picked.empty()) {
@@ -358,6 +412,7 @@ void ShmServer::serve(std::uint32_t idx, Session& s) {
     }
     const std::uint64_t t0 = mono_ns();
     cnt().requests.add(picked.size());
+    s.ops.fetch_add(picked.size(), std::memory_order_relaxed);
     // Pipeline the whole wavefront into the store before waiting: the
     // store's per-client queue + batcher turn it into per-shard
     // transactions (the same batching in-process clients get).

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "ipc/wire.hpp"
+#include "obs/shm_stats.hpp"
 #include "svc/kvstore.hpp"
 
 namespace bdhtm::ipc {
@@ -41,6 +42,13 @@ class ShmServer {
     /// Poll tick bounding every wait (acceptor scan period, session
     /// doorbell park, liveness re-check period).
     std::uint64_t poll_us = 2'000;
+    /// Live stats export (DESIGN.md §13): when non-empty, a publisher
+    /// thread snapshots the global obs registry (plus per-session rows
+    /// and the live persistence-lag gauge) into this seqlock-guarded
+    /// shared-memory segment every stats_period_us. bdhtm_top attaches
+    /// read-only; a dead or absent reader costs the server nothing.
+    std::string stats_path;
+    std::uint64_t stats_period_us = 100'000;
   };
 
   /// Point-in-time registry counters (monotonic; also exported as
@@ -83,10 +91,15 @@ class ShmServer {
     std::uint64_t generation = 0;
     std::uint32_t slot_count = 0;
     std::string path;
+    /// Requests this session has picked up (lifetime total across every
+    /// client the slot served); exported as a per-session stats row.
+    std::atomic<std::uint64_t> ops{0};
     std::thread thread;
   };
 
   void acceptor_loop();
+  void stats_loop();
+  void publish_stats();
   void session_loop(std::uint32_t idx);
   void serve(std::uint32_t idx, Session& s);
   /// Tear down session `s`'s arena with final phase `ph`; sheds any
@@ -105,6 +118,10 @@ class ShmServer {
   std::vector<std::unique_ptr<Session>> sessions_;
   std::thread acceptor_;
   std::vector<std::string> handled_;  // acceptor-private: seen paths
+
+  // Live stats export (only when cfg_.stats_path is set).
+  obs::StatsPublisher stats_pub_;
+  std::thread stats_thread_;
 };
 
 }  // namespace bdhtm::ipc

@@ -1,0 +1,96 @@
+// txlint-scope: ipc-client
+//
+// Client-side request-span recorder (DESIGN.md §13). The server's span
+// events go through the obs trace rings, but client binaries are built
+// without the durable core — this header is their complete tracing
+// footprint: a bounded in-memory buffer of {span, stage, ts, dur}
+// records and a Chrome trace_event JSON dump. The JSON uses the
+// client's real pid, and every timestamp is the same host-wide
+// CLOCK_MONOTONIC the server stamps (ipc::mono_ns), so concatenating
+// the two processes' traceEvents arrays yields one merged timeline with
+// no clock reconciliation beyond the handshake-bounded skew recorded in
+// ArenaHdr.
+//
+// Header-only and dependency-free on purpose (wire/futex/fault/client
+// is the whole allowed include set for ipc-client scope); single
+// producer, no locks — one recorder per client thread.
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bdhtm::ipc {
+
+class SpanRecorder {
+ public:
+  explicit SpanRecorder(std::size_t max_events = 1 << 16)
+      : max_events_(max_events) {}
+
+  /// Record one client-side stage as a complete event. `name` must be a
+  /// string literal (stored by pointer). Drops silently once full — a
+  /// bounded tool buffer, not a ring.
+  void complete(const char* name, std::uint64_t span_id,
+                std::uint64_t start_ns, std::uint64_t end_ns) {
+    if (events_.size() >= max_events_) return;
+    events_.push_back(
+        {name, span_id, start_ns, end_ns >= start_ns ? end_ns - start_ns : 0});
+  }
+
+  /// Record a point event (dur 0, rendered as ph "i").
+  void instant(const char* name, std::uint64_t span_id, std::uint64_t ts_ns) {
+    if (events_.size() >= max_events_) return;
+    events_.push_back({name, span_id, ts_ns, kInstant});
+  }
+
+  std::size_t size() const { return events_.size(); }
+
+  /// Chrome trace_event JSON (object form, "traceEvents" array), pid =
+  /// this process, tid = 0 (one recorder per thread; multi-thread tools
+  /// write one file each). Returns false on I/O error.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const int pid = static_cast<int>(::getpid());
+    std::fputs("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[", f);
+    bool first = true;
+    for (const Event& e : events_) {
+      if (!first) std::fputc(',', f);
+      first = false;
+      if (e.dur_ns == kInstant) {
+        std::fprintf(f,
+                     "{\"name\":\"%s\",\"cat\":\"req\",\"ph\":\"i\","
+                     "\"s\":\"t\",\"ts\":%.3f,\"pid\":%d,\"tid\":0,"
+                     "\"args\":{\"span\":%llu}}",
+                     e.name, static_cast<double>(e.ts_ns) / 1e3, pid,
+                     static_cast<unsigned long long>(e.span));
+      } else {
+        std::fprintf(f,
+                     "{\"name\":\"%s\",\"cat\":\"req\",\"ph\":\"X\","
+                     "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":0,"
+                     "\"args\":{\"span\":%llu}}",
+                     e.name, static_cast<double>(e.ts_ns) / 1e3,
+                     static_cast<double>(e.dur_ns) / 1e3, pid,
+                     static_cast<unsigned long long>(e.span));
+      }
+    }
+    std::fputs("]}\n", f);
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  static constexpr std::uint64_t kInstant = ~std::uint64_t{0};
+  struct Event {
+    const char* name;
+    std::uint64_t span;
+    std::uint64_t ts_ns;
+    std::uint64_t dur_ns;  // kInstant = point event
+  };
+  std::size_t max_events_;
+  std::vector<Event> events_;
+};
+
+}  // namespace bdhtm::ipc

@@ -15,7 +15,10 @@
 namespace bdhtm::ipc {
 
 inline constexpr std::uint64_t kArenaMagic = 0xbda7e7a05107c0deULL;
-inline constexpr std::uint32_t kWireVersion = 1;
+/// v2: request slots carry submit_ns + span_id (end-to-end tracing), the
+/// header carries the clock-handshake stamps. Version mismatches are
+/// refused at accept, as before.
+inline constexpr std::uint32_t kWireVersion = 2;
 /// Per-client in-flight bound; one 64-bit scan word covers a full arena.
 inline constexpr std::uint32_t kMaxSlots = 64;
 /// Header page size; slots start at this offset.
@@ -95,6 +98,14 @@ struct alignas(128) Slot {
   std::uint32_t pad0 = 0;
   std::uint64_t key = 0;
   std::uint64_t value = 0;
+  /// Client's CLOCK_MONOTONIC at publish. Both processes run on one
+  /// host, so the server subtracts this directly from its own clock for
+  /// the req.queue span and the svc.lat.queue_ns leg.
+  std::uint64_t submit_ns = 0;
+  /// End-to-end span identity: client pid in the high 32 bits, request
+  /// seq in the low 32. 0 = untraced (the server then emits no span
+  /// events for this request).
+  std::uint64_t span_id = 0;
 
   // ---- response payload (owned by server until state == kDone) ----
   std::uint32_t status = kStOk;  // WireStatus
@@ -130,6 +141,14 @@ struct ArenaHdr {
   /// server lease period or the session is reclaimed (deadman switch —
   /// catches both silent death with a reused pid and a wedged client).
   std::atomic<std::uint64_t> heartbeat{0};
+  /// Clock handshake: both sides stamp the same host-wide
+  /// CLOCK_MONOTONIC, so (server_accept_ns - client_hello_ns) bounds the
+  /// one-way transport skew a merged client+server trace could carry —
+  /// there is no cross-clock offset to reconcile, only the handshake
+  /// latency itself. Written by the client just before phase=kHello and
+  /// by the server just before kAccepted.
+  std::uint64_t client_hello_ns = 0;
+  std::uint64_t server_accept_ns = 0;
 };
 static_assert(sizeof(ArenaHdr) <= kHeaderBytes);
 static_assert(std::atomic<std::uint32_t>::is_always_lock_free,

@@ -63,6 +63,12 @@ class JsonWriter {
     std::snprintf(buf, sizeof buf, "%d", v);
     out_ += buf;
   }
+  void value(std::int64_t v) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRId64, v);
+    out_ += buf;
+  }
   void value(double v) {
     comma();
     if (!std::isfinite(v)) {
@@ -71,6 +77,19 @@ class JsonWriter {
     }
     char buf[40];
     std::snprintf(buf, sizeof buf, "%.6g", v);
+    out_ += buf;
+  }
+  /// Fixed-point double: %.6g truncates large magnitudes (a ~1e10 us
+  /// trace timestamp loses everything below 100 us), so timestamps are
+  /// written with an explicit decimal count instead.
+  void value_fixed(double v, int decimals) {
+    comma();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
     out_ += buf;
   }
 

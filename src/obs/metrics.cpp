@@ -5,11 +5,27 @@
 
 namespace bdhtm::obs {
 
+namespace detail {
+namespace {
+std::atomic<InTxProbe> g_in_tx_probe{nullptr};
+}  // namespace
+
+void set_in_tx_probe(InTxProbe p) {
+  g_in_tx_probe.store(p, std::memory_order_release);
+}
+
+bool in_tx_now() {
+  const InTxProbe p = g_in_tx_probe.load(std::memory_order_acquire);
+  return p != nullptr && p();
+}
+}  // namespace detail
+
 struct Registry::Impl {
   mutable std::mutex mu;
   // node-based maps: element addresses are stable across inserts, which
-  // is what lets callers cache Counter&/Histogram& references.
+  // is what lets callers cache Counter&/Histogram&/Gauge& references.
   std::map<std::string, Counter, std::less<>> counters;
+  std::map<std::string, Gauge, std::less<>> gauges;
   std::map<std::string, Histogram, std::less<>> histograms;
 };
 
@@ -42,12 +58,25 @@ Histogram& Registry::histogram(std::string_view name) {
   return it->second;
 }
 
+Gauge& Registry::gauge(std::string_view name) {
+  std::scoped_lock lk(impl_->mu);
+  auto it = impl_->gauges.find(name);
+  if (it == impl_->gauges.end()) {
+    it = impl_->gauges.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
 Registry::Snapshot Registry::snapshot() const {
   std::scoped_lock lk(impl_->mu);
   Snapshot s;
   s.counters.reserve(impl_->counters.size());
   for (const auto& [name, c] : impl_->counters) {
     s.counters.emplace_back(name, c.total());
+  }
+  s.gauges.reserve(impl_->gauges.size());
+  for (const auto& [name, g] : impl_->gauges) {
+    s.gauges.emplace_back(name, g.value());
   }
   s.histograms.reserve(impl_->histograms.size());
   for (const auto& [name, h] : impl_->histograms) {
@@ -59,6 +88,7 @@ Registry::Snapshot Registry::snapshot() const {
 void Registry::reset() {
   std::scoped_lock lk(impl_->mu);
   for (auto& [name, c] : impl_->counters) c.reset();
+  for (auto& [name, g] : impl_->gauges) g.reset();
   for (auto& [name, h] : impl_->histograms) h.reset();
 }
 

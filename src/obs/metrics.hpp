@@ -12,6 +12,11 @@
 //                buckets per power of two, <= 12.5% relative bucket
 //                error) with exact count/sum/min/max, replacing the
 //                duplicated CAS min/max loops that EpochStats grew.
+//   - Gauge:     a last-value instrument for sampled quantities
+//                (persistence lag, live queue occupancy). set() is one
+//                relaxed store; writers are low-rate samplers (the epoch
+//                advancer, the stats-publisher tick), not hot paths, so
+//                it is deliberately unsharded.
 //
 // Instrumentation is compiled in and always on: recording is relaxed
 // atomics only, zero allocation, and safe under TSan, so the sanitizer
@@ -34,10 +39,23 @@
 #include <string_view>
 #include <vector>
 
+#include "common/checked.hpp"
 #include "common/defs.hpp"
 #include "common/threading.hpp"
 
 namespace bdhtm::obs {
+
+namespace detail {
+/// "Inside a hardware transaction?" probe, installed by the HTM engine
+/// (obs cannot include htm — the dependency points the other way). Used
+/// only by the BDHTM_CHECKED no-obs-in-tx mirror trap: metric/trace
+/// writes inside a transaction are rolled back on abort and double-count
+/// on retry, so checked builds trap them at the exact site txlint would
+/// flag statically. Returns false until a probe is installed.
+using InTxProbe = bool (*)();
+void set_in_tx_probe(InTxProbe p);
+bool in_tx_now();
+}  // namespace detail
 
 #if defined(BDHTM_OBS_NOOP)
 inline constexpr bool kNoop = true;
@@ -77,6 +95,26 @@ class Counter {
 
  private:
   std::unique_ptr<Padded<std::atomic<std::uint64_t>>[]> slots_;
+};
+
+/// Last-value instrument. Unlike Counter/Histogram this is not a
+/// monotone accumulation: it reports "the value right now" (persistence
+/// lag, occupancy), overwritten by whichever sampler observed it last.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    if constexpr (kNoop) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) {
+    if constexpr (kNoop) return;
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
 };
 
 /// Point-in-time copy of a Histogram, with quantile evaluation and
@@ -154,6 +192,11 @@ class Histogram {
  public:
   void record(std::uint64_t v) {
     if constexpr (kNoop) return;
+    if (checked::enabled() && detail::in_tx_now()) {
+      // no-obs-in-tx mirror: a histogram write inside an HTM transaction
+      // is rolled back on abort and double-counted on retry.
+      checked::violation(checked::Rule::kNoObsInTx, "obs::Histogram::record");
+    }
     buckets_[HistogramSnapshot::bucket_of(v)].fetch_add(
         1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
@@ -226,9 +269,11 @@ class Registry {
   /// lifetime; cache it, don't re-look-up on hot paths.
   Counter& counter(std::string_view name);
   Histogram& histogram(std::string_view name);
+  Gauge& gauge(std::string_view name);
 
   struct Snapshot {
     std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
     std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
   };
   /// Sorted by name, so exports are deterministic.

@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include <pthread.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -10,6 +12,7 @@
 #include "common/spin.hpp"
 #include "common/threading.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace bdhtm::obs {
 namespace {
@@ -74,7 +77,31 @@ constexpr TypeInfo kTypes[static_cast<int>(TraceEventType::kNumTypes)] = {
     {"svc.shed", "svc", "client", "capacity", false},
     {"ipc.session", "ipc", "session", "pid", false},
     {"ipc.reclaim", "ipc", "session", "shed", true},
+    {"req.queue", "req", "span", "slot", true},
+    {"req.exec", "req", "span", "shard", true},
+    {"req.epoch", "req", "span", "epoch", false},
+    {"req.ack", "req", "span", "status", false},
+    {"req.durable", "req", "span", "release_epoch", true},
 };
+
+// fork() safety: the child inherits byte copies of every parent ring
+// (and of g_emitted), so a child that later exports would replay the
+// parent's events under its own pid — the merged Perfetto trace would
+// show each parent event twice. An atfork child handler resets the ring
+// heads and the emitted count; the lazily-allocated buffers stay mapped
+// (the child is single-threaded at that point, so plain stores are
+// fine) and get overwritten on the child's first emits.
+void atfork_child_reset() {
+  for (int t = 0; t < kMaxThreads; ++t) {
+    g_rings[t].value.head.store(0, std::memory_order_relaxed);
+  }
+  g_emitted.store(0, std::memory_order_relaxed);
+}
+
+[[maybe_unused]] const bool g_atfork_registered = [] {
+  (void)pthread_atfork(nullptr, nullptr, &atfork_child_reset);
+  return true;
+}();
 
 }  // namespace
 
@@ -87,12 +114,20 @@ void set_trace_capacity(std::size_t events) {
 std::size_t trace_capacity() { return capacity_slot(); }
 
 void trace_instant(TraceEventType t, std::uint64_t a, std::uint64_t b) {
+  // no-obs-in-tx mirror fires even with tracing off: the checked lane
+  // traps the misuse regardless of whether a trace was being collected.
+  if (checked::enabled() && detail::in_tx_now()) {
+    checked::violation(checked::Rule::kNoObsInTx, "obs::trace_instant");
+  }
   if (!tracing_enabled()) return;
   emit(t, now_ns(), 0, a, b);
 }
 
 void trace_complete(TraceEventType t, std::uint64_t start_ns, std::uint64_t a,
                     std::uint64_t b) {
+  if (checked::enabled() && detail::in_tx_now()) {
+    checked::violation(checked::Rule::kNoObsInTx, "obs::trace_complete");
+  }
   if (!tracing_enabled()) return;
   const std::uint64_t now = now_ns();
   emit(t, start_ns, now >= start_ns ? now - start_ns : 0, a, b);
@@ -154,10 +189,13 @@ std::string chrome_trace_json() {
         w.key("ph");
         w.value(ti.complete ? "X" : "i");
         w.key("ts");
-        w.value(static_cast<double>(ev.ts_ns) / 1e3);  // microseconds
+        // Fixed 3 decimals (ns resolution): %.6g would truncate a
+        // CLOCK_MONOTONIC-scale ts to 100 us steps, breaking cross-
+        // process span alignment against the client-side recorder.
+        w.value_fixed(static_cast<double>(ev.ts_ns) / 1e3, 3);
         if (ti.complete) {
           w.key("dur");
-          w.value(static_cast<double>(ev.dur_ns) / 1e3);
+          w.value_fixed(static_cast<double>(ev.dur_ns) / 1e3, 3);
         } else {
           w.key("s");
           w.value("t");

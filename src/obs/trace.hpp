@@ -36,6 +36,23 @@ enum class TraceEventType : std::uint16_t {
   kSvcShed,           // instant;  a=client index, b=queue capacity
   kIpcSession,        // instant;  a=session index, b=client pid
   kIpcReclaim,        // complete; a=session index, b=slots shed
+  // ---- Request spans (ISSUE 8): per-request lifecycle stages. Every
+  // event carries the request's span id in `a` so a merged client+server
+  // Perfetto trace ties one request's stages together end-to-end. The
+  // client-side stages (enqueue, futex wake) are emitted by the
+  // dependency-free recorder in src/ipc/span.hpp, not through these
+  // rings; both sides stamp the same host-wide CLOCK_MONOTONIC.
+  kReqQueue,          // complete; a=span id, b=arena slot — client
+                      //   submit stamp -> server dequeue (transport +
+                      //   doorbell + svc queue wait)
+  kReqExec,           // complete; a=span id, b=shard — the batched
+                      //   envelope execution the request rode in
+                      //   (HTM attempts + fallback, shared per batch)
+  kReqEpoch,          // instant;  a=span id, b=complete_epoch stamped
+  kReqAck,            // instant;  a=span id, b=svc::Status — the reply
+                      //   became visible to the client (buffered ack)
+  kReqDurable,        // complete; a=span id, b=release epoch — envelope
+                      //   commit -> durable release (epoch wait)
   kNumTypes,
 };
 

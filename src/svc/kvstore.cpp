@@ -40,7 +40,12 @@ KVStore::KVStore(epoch::EpochSys& es, const KVStoreConfig& cfg)
       c_rejected_closed_(reg().counter("svc.rejected_on_close")),
       h_batch_size_(reg().histogram("svc.batch_size")),
       h_latency_ns_(reg().histogram("svc.latency_ns")),
-      h_queue_depth_(reg().histogram("svc.queue_depth")) {
+      h_queue_depth_(reg().histogram("svc.queue_depth")),
+      h_lat_queue_(reg().histogram("svc.lat.queue_ns")),
+      h_lat_htm_(reg().histogram("svc.lat.htm_ns")),
+      h_lat_epoch_wait_(reg().histogram("svc.lat.epoch_wait_ns")),
+      h_ack_buffered_(reg().histogram("svc.ack.buffered_ns")),
+      h_ack_durable_(reg().histogram("svc.ack.durable_ns")) {
   int ns = 1;
   while (ns < cfg_.shards) ns <<= 1;
   cfg_.shards = ns;
@@ -194,6 +199,10 @@ void KVStore::resolve(Request* req) {
       break;
   }
   completed_.fetch_add(1, std::memory_order_relaxed);
+  if (req->span_id != 0) {
+    obs::trace_instant(obs::TraceEventType::kReqAck, req->span_id,
+                       static_cast<std::uint64_t>(req->status));
+  }
   mark_done(req);
 }
 
@@ -229,19 +238,43 @@ void KVStore::execute_shard_batch(int s, WorkerCtx& ctx, std::size_t m) {
     c_restarts_.add(envelopes - 1);
   }
   h_batch_size_.record(m);
+  const std::uint64_t t_end = now_ns();
   // Sampled (one point per batch, the oldest request): per-op records
   // would cost more than the batching saves. Drivers that need exact
   // quantiles time submit->wait themselves.
-  h_latency_ns_.record(now_ns() - ctx.reqs[0]->t_submit_ns);
+  h_latency_ns_.record(t_end - ctx.reqs[0]->t_submit_ns);
+  // Decomposition legs, sampled at the same once-per-batch cadence. The
+  // origin is the client-side submit stamp when the request crossed the
+  // IPC boundary with one, else the in-process submit time.
+  const std::uint64_t origin = ctx.reqs[0]->t_origin_ns != 0
+                                   ? ctx.reqs[0]->t_origin_ns
+                                   : ctx.reqs[0]->t_submit_ns;
+  if (t0 > origin) h_lat_queue_.record(t0 - origin);
+  h_lat_htm_.record(t_end - t0);
   c_shard_ops_[static_cast<std::size_t>(s)]->add(m);
   obs::trace_complete(obs::TraceEventType::kSvcBatch, t0,
                       static_cast<std::uint64_t>(s), m);
+  if (obs::tracing_enabled()) {
+    for (std::size_t i = 0; i < m; ++i) {
+      if (ctx.reqs[i]->span_id == 0) continue;
+      // Each traced request shows the envelope window it rode in plus
+      // the epoch its effects were stamped with.
+      obs::trace_complete(obs::TraceEventType::kReqExec, t0,
+                          ctx.reqs[i]->span_id,
+                          static_cast<std::uint64_t>(s));
+      obs::trace_instant(obs::TraceEventType::kReqEpoch, ctx.reqs[i]->span_id,
+                         ctx.reqs[i]->complete_epoch);
+    }
+  }
 
   if (cfg_.release == ReleasePolicy::kBuffered) {
     for (std::size_t i = 0; i < m; ++i) resolve(ctx.reqs[i]);
+    const std::uint64_t t_ack = now_ns();
+    if (t_ack > origin) h_ack_buffered_.record(t_ack - origin);
   } else {
     for (std::size_t i = 0; i < m; ++i) {
-      ctx.parked.push_back({ctx.reqs[i]->complete_epoch + 2, ctx.reqs[i]});
+      ctx.parked.push_back(
+          {ctx.reqs[i]->complete_epoch + 2, t_end, ctx.reqs[i]});
     }
   }
 }
@@ -250,8 +283,27 @@ void KVStore::release_parked(WorkerCtx& ctx, bool force_advance) {
   while (!ctx.parked.empty()) {
     const std::uint64_t p = es_.persisted_epoch();
     std::size_t kept = 0;
+    bool sampled = false;
     for (auto& pk : ctx.parked) {
       if (p >= pk.release_epoch) {
+        if (!sampled) {
+          // One sample per sweep (same cadence policy as the batch
+          // latencies): how long the commit waited on durability, and
+          // the full origin->durable-ack span.
+          sampled = true;
+          const std::uint64_t now = now_ns();
+          if (now > pk.t_exec_ns) {
+            h_lat_epoch_wait_.record(now - pk.t_exec_ns);
+          }
+          const std::uint64_t origin = pk.req->t_origin_ns != 0
+                                           ? pk.req->t_origin_ns
+                                           : pk.req->t_submit_ns;
+          if (now > origin) h_ack_durable_.record(now - origin);
+        }
+        if (pk.req->span_id != 0) {
+          obs::trace_complete(obs::TraceEventType::kReqDurable, pk.t_exec_ns,
+                              pk.req->span_id, pk.release_epoch);
+        }
         resolve(pk.req);
       } else {
         ctx.parked[kept++] = pk;

@@ -72,6 +72,15 @@ struct Request {
   epoch::BatchOp op;           // in: kind/key/value, out: ok/out_value
   Status status = Status::kOk;
   std::uint64_t t_submit_ns = 0;
+  /// End-to-end span identity (0 = untraced). The IPC server copies the
+  /// client's span id and submit stamp out of the wire slot before
+  /// submit(); span trace events (req.queue/exec/epoch/ack/durable) are
+  /// emitted only for requests that carry one, so in-process callers pay
+  /// nothing. t_origin_ns is the CLIENT's CLOCK_MONOTONIC submit stamp —
+  /// the same host-wide clock as now_ns(), so queue latency may subtract
+  /// them directly; 0 means "origin = t_submit_ns" (in-process path).
+  std::uint64_t span_id = 0;
+  std::uint64_t t_origin_ns = 0;
   /// Epoch of the envelope the op committed in; the op is durable once
   /// persisted_epoch >= complete_epoch + 2. 0 for rejected requests.
   std::uint64_t complete_epoch = 0;
@@ -84,12 +93,16 @@ struct Request {
       : op(o.op),
         status(o.status),
         t_submit_ns(o.t_submit_ns),
+        span_id(o.span_id),
+        t_origin_ns(o.t_origin_ns),
         complete_epoch(o.complete_epoch),
         state(o.state.load(std::memory_order_relaxed)) {}
   Request& operator=(const Request& o) {
     op = o.op;
     status = o.status;
     t_submit_ns = o.t_submit_ns;
+    span_id = o.span_id;
+    t_origin_ns = o.t_origin_ns;
     complete_epoch = o.complete_epoch;
     state.store(o.state.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
@@ -191,6 +204,7 @@ class KVStore {
 
   struct Parked {
     std::uint64_t release_epoch;  // persisted_epoch needed for release
+    std::uint64_t t_exec_ns;      // envelope commit time (epoch-wait leg)
     Request* req;
   };
   struct WorkerCtx {
@@ -240,6 +254,19 @@ class KVStore {
   obs::Histogram& h_batch_size_;
   obs::Histogram& h_latency_ns_;
   obs::Histogram& h_queue_depth_;
+  // Latency decomposition (svc.lat.*): where a request's wall time goes.
+  // queue = origin submit -> worker pickup; htm = batched envelope
+  // execution (HTM attempts + fallback); epoch_wait = envelope commit ->
+  // durable release (kDurable only). The fourth leg, svc.lat.flush_ns,
+  // is recorded by the epoch advancer where the flush runs. Ack split:
+  // svc.ack.buffered_ns vs svc.ack.durable_ns measure origin -> ack for
+  // the two release policies. All sampled once per batch / release
+  // sweep, same policy as svc.latency_ns.
+  obs::Histogram& h_lat_queue_;
+  obs::Histogram& h_lat_htm_;
+  obs::Histogram& h_lat_epoch_wait_;
+  obs::Histogram& h_ack_buffered_;
+  obs::Histogram& h_ack_durable_;
   std::vector<obs::Histogram*> h_shard_depth_;  // per-shard drain backlog
   std::vector<obs::Counter*> c_shard_ops_;
 };

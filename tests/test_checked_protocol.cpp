@@ -21,6 +21,8 @@
 #include "epoch/epoch_sys.hpp"
 #include "htm/engine.hpp"
 #include "nvm/device.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bdhtm {
 namespace {
@@ -99,6 +101,7 @@ TEST(CheckedProtocol, RuleNamesMatchTxlintDiagnostics) {
                "irrevocable-in-tx");
   EXPECT_STREQ(checked::rule_name(checked::Rule::kUnbalancedEpochOp),
                "unbalanced-epoch-op");
+  EXPECT_STREQ(checked::rule_name(checked::Rule::kNoObsInTx), "no-obs-in-tx");
 }
 
 TEST(CheckedProtocol, ReportWritesSchemaAndCounters) {
@@ -300,6 +303,48 @@ TEST(CheckedProtocol, UnbalancedEpochOpTrapsAbortWithoutBegin) {
   ASSERT_TRUE(cap.saw(checked::Rule::kUnbalancedEpochOp));
   EXPECT_NE(cap.site_of(checked::Rule::kUnbalancedEpochOp)->find("abortOp"),
             std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// no-obs-in-tx
+
+TEST(CheckedProtocol, NoObsInTxTrapsHistogramRecord) {
+  SKIP_UNLESS_CHECKED();
+  Capture cap;
+  obs::Histogram h;
+  (void)htm::run([&](htm::Txn& tx) {
+    (void)tx;
+    // txlint: allow(no-obs-in-tx) -- provoking the runtime trap
+    h.record(1);
+  });
+  ASSERT_TRUE(cap.saw(checked::Rule::kNoObsInTx));
+  EXPECT_EQ(*cap.site_of(checked::Rule::kNoObsInTx), "obs::Histogram::record");
+}
+
+TEST(CheckedProtocol, NoObsInTxTrapsTraceEmitEvenWithTracingOff) {
+  SKIP_UNLESS_CHECKED();
+  Capture cap;
+  ASSERT_FALSE(obs::tracing_enabled());
+  (void)htm::run([&](htm::Txn& tx) {
+    (void)tx;
+    // txlint: allow(no-obs-in-tx) -- provoking the runtime trap
+    obs::trace_instant(obs::TraceEventType::kSvcBatch, 1, 2);
+    // txlint: allow(no-obs-in-tx) -- provoking the runtime trap
+    obs::trace_complete(obs::TraceEventType::kSvcBatch, 0, 1, 2);
+  });
+  ASSERT_TRUE(cap.saw(checked::Rule::kNoObsInTx));
+  EXPECT_GE(checked::violations(checked::Rule::kNoObsInTx), 2u);
+  // The checked lane traps before the tracing_enabled gate, so nothing
+  // was actually emitted into the rings.
+}
+
+TEST(CheckedProtocol, NoObsOutsideTxIsClean) {
+  SKIP_UNLESS_CHECKED();
+  Capture cap;
+  obs::Histogram h;
+  h.record(7);
+  obs::trace_instant(obs::TraceEventType::kSvcBatch, 1, 2);
+  EXPECT_TRUE(cap.hits.empty());
 }
 
 // ---------------------------------------------------------------------------

@@ -18,6 +18,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -32,6 +33,8 @@
 #include "ipc/server.hpp"
 #include "nvm/device.hpp"
 #include "obs/metrics.hpp"
+#include "obs/shm_stats.hpp"
+#include "obs/trace.hpp"
 #include "svc/kvstore.hpp"
 
 namespace bdhtm {
@@ -604,6 +607,206 @@ TEST(Ipc, ServerCrashRecoversAcknowledgedPrefix) {
   // The run must actually exercise both sides of the frontier.
   EXPECT_GT(kept, 0u);
   EXPECT_GT(rolled, 0u) << "media froze too late to cut any acks";
+  remove_dir(dir);
+}
+
+// ---------------------------------------------------------------------
+// Request spans (DESIGN.md §13): one request's lifecycle stages, stamped
+// in both processes, must line up on the shared span id with
+// monotonically ordered timestamps when the two traces are merged.
+
+/// One event parsed back out of ipc_client's --trace-out JSON (the
+/// SpanRecorder format is fixed; this is a token scan, not a JSON
+/// parser).
+struct CliEv {
+  std::string name;
+  double ts_us = 0, dur_us = 0;
+  std::uint64_t span = 0;
+};
+
+std::vector<CliEv> parse_client_trace(const std::string& path) {
+  std::vector<CliEv> out;
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string s = ss.str();
+  std::size_t pos = 0;
+  while ((pos = s.find("{\"name\":\"", pos)) != std::string::npos) {
+    CliEv e;
+    const std::size_t nb = pos + 9;
+    const std::size_t ne = s.find('"', nb);
+    if (ne == std::string::npos) break;
+    e.name = s.substr(nb, ne - nb);
+    auto num_after = [&](const char* key, double* v) {
+      const std::size_t k = s.find(key, pos);
+      if (k != std::string::npos) *v = std::strtod(s.c_str() + k + std::strlen(key), nullptr);
+    };
+    num_after("\"ts\":", &e.ts_us);
+    num_after("\"dur\":", &e.dur_us);
+    const std::size_t sp = s.find("\"span\":", pos);
+    if (sp != std::string::npos) {
+      e.span = std::strtoull(s.c_str() + sp + 7, nullptr, 10);
+    }
+    out.push_back(std::move(e));
+    pos = ne;
+  }
+  return out;
+}
+
+TEST(Ipc, RequestSpansMergeMonotonicallyAcrossProcesses) {
+  obs::reset_traces();
+  obs::set_tracing(true);
+  IpcWorld w;
+  svc::KVStore store(*w.es, ipc_store_cfg(2));
+  const std::string dir = make_rendezvous_dir();
+  ipc::ShmServer::Config scfg;
+  scfg.dir = dir;
+  scfg.max_sessions = 2;
+  scfg.poll_us = 500;
+  auto server = std::make_unique<ipc::ShmServer>(store, scfg);
+
+  constexpr std::uint64_t kOps = 64;
+  const std::string trace = dir + "/client_trace.json";
+  const pid_t pid = spawn_client({"--dir=" + dir, "--ops=" + std::to_string(kOps),
+                                  "--flight=4", "--mode=mixed",
+                                  "--log=" + dir + "/spans.log",
+                                  "--trace-out=" + trace});
+  EXPECT_EQ(wait_exit(pid, nullptr), 0);
+  server->close();
+  store.close();
+  obs::set_tracing(false);
+
+  // Server-side stages, keyed by span id (rings are quiesced: all
+  // server threads joined).
+  struct SrvStage {
+    double queue_ts = -1, queue_end = -1;
+    double exec_ts = -1, exec_end = -1;
+    double ack_ts = -1;
+  };
+  struct Ctx {
+    std::map<std::uint64_t, SrvStage> by_span;
+  } ctx;
+  obs::for_each_trace_event(
+      [](void* cp, int, const obs::TraceEvent& ev) {
+        auto& m = static_cast<Ctx*>(cp)->by_span;
+        const double ts = static_cast<double>(ev.ts_ns) / 1e3;
+        const double end = static_cast<double>(ev.ts_ns + ev.dur_ns) / 1e3;
+        switch (ev.type) {
+          case obs::TraceEventType::kReqQueue:
+            m[ev.a].queue_ts = ts;
+            m[ev.a].queue_end = end;
+            break;
+          case obs::TraceEventType::kReqExec:
+            m[ev.a].exec_ts = ts;
+            m[ev.a].exec_end = end;
+            break;
+          case obs::TraceEventType::kReqAck:
+            m[ev.a].ack_ts = ts;
+            break;
+          default:
+            break;
+        }
+      },
+      &ctx);
+
+  // Span id carries the client pid in the high half.
+  ASSERT_EQ(ctx.by_span.size(), kOps);
+  for (const auto& [span, st] : ctx.by_span) {
+    EXPECT_EQ(span >> 32, static_cast<std::uint64_t>(pid));
+    (void)st;
+  }
+
+  // Client-side stages for the same spans.
+  const std::vector<CliEv> cli = parse_client_trace(trace);
+  std::map<std::uint64_t, std::pair<double, double>> cli_pub;  // ts, end of publish
+  std::map<std::uint64_t, double> cli_done;                    // req.client end
+  for (const CliEv& e : cli) {
+    if (e.name == "req.publish") {
+      cli_pub[e.span] = {e.ts_us, e.ts_us + e.dur_us};
+    } else if (e.name == "req.client") {
+      cli_done[e.span] = e.ts_us + e.dur_us;
+    }
+  }
+  ASSERT_EQ(cli_pub.size(), kOps);
+  ASSERT_EQ(cli_done.size(), kOps);
+
+  // Merged per-span order: publish start -> submit stamp (= queue ts)
+  // -> dequeue (queue end) -> envelope (exec) -> ack -> client retire.
+  // 1.001 us slack absorbs the JSON round trip's 3-decimal rounding.
+  constexpr double kEps = 1.001e-3;
+  for (const auto& [span, st] : ctx.by_span) {
+    ASSERT_TRUE(cli_pub.count(span)) << "server span unknown to client";
+    const auto [pub_ts, pub_end] = cli_pub[span];
+    ASSERT_GE(st.queue_ts, 0.0);
+    ASSERT_GE(st.exec_ts, 0.0);
+    ASSERT_GE(st.ack_ts, 0.0);
+    EXPECT_LE(pub_ts, st.queue_ts + kEps);
+    EXPECT_LE(st.queue_ts, st.queue_end + kEps);
+    EXPECT_LE(st.queue_end, st.exec_ts + kEps);
+    EXPECT_LE(st.exec_ts, st.exec_end + kEps);
+    EXPECT_LE(st.exec_end, st.ack_ts + kEps);
+    EXPECT_LE(st.ack_ts, cli_done[span] + kEps);
+  }
+
+  obs::reset_traces();
+  remove_dir(dir);
+}
+
+// ---------------------------------------------------------------------
+// Live stats segment (DESIGN.md §13): a served workload must be visible
+// through the shared-memory export — totals, persistence lag, per-
+// session rows — and the span/counter totals must reconcile.
+TEST(Ipc, LiveStatsSegmentReflectsServedLoad) {
+  obs::Registry::global().reset();
+  IpcWorld w;
+  svc::KVStore store(*w.es, ipc_store_cfg(2));
+  const std::string dir = make_rendezvous_dir();
+  ipc::ShmServer::Config scfg;
+  scfg.dir = dir;
+  scfg.max_sessions = 2;
+  scfg.poll_us = 500;
+  scfg.stats_path = dir + "/stats.shm";
+  scfg.stats_period_us = 10'000;
+  auto server = std::make_unique<ipc::ShmServer>(store, scfg);
+
+  constexpr std::uint64_t kOps = 256;
+  const pid_t pid = spawn_client({"--dir=" + dir, "--ops=" + std::to_string(kOps),
+                                  "--flight=8", "--mode=mixed",
+                                  "--log=" + dir + "/stats_cli.log"});
+  EXPECT_EQ(wait_exit(pid, nullptr), 0);
+
+  // The reader attaches while the server is live.
+  obs::StatsReader rd;
+  ASSERT_TRUE(rd.open(scfg.stats_path));
+  obs::StatsSample live;
+  ASSERT_TRUE(rd.sample(live));
+  EXPECT_EQ(live.server_pid, static_cast<std::uint32_t>(getpid()));
+
+  // close() runs one final publish, so the last sample carries the full
+  // totals even if the workload outpaced the publish tick.
+  server->close();
+  obs::StatsSample s;
+  ASSERT_TRUE(rd.sample(s));
+  rd.close();
+  store.close();
+
+  ASSERT_NE(s.counter("svc.ops"), nullptr);
+  EXPECT_GE(*s.counter("svc.ops"), kOps);
+  ASSERT_NE(s.counter("ipc.requests"), nullptr);
+  EXPECT_GE(*s.counter("ipc.requests"), kOps);
+  ASSERT_NE(s.gauge("epoch.persistence_lag_us"), nullptr);
+  ASSERT_NE(s.gauge("ipc.active_sessions"), nullptr);
+  const auto* hq = s.hist("svc.lat.queue_ns");
+  ASSERT_NE(hq, nullptr);
+  EXPECT_GT(hq->count, 0u);
+  EXPECT_LE(hq->p50, hq->p99);
+  ASSERT_NE(s.hist("svc.ack.buffered_ns"), nullptr);
+  ASSERT_EQ(s.sessions.size(), scfg.max_sessions);
+  std::uint64_t session_ops = 0;
+  for (const auto& row : s.sessions) session_ops += row.ops;
+  // Per-session lifetime ops reconcile exactly with the transport total.
+  EXPECT_EQ(session_ops, *s.counter("ipc.requests"));
+
   remove_dir(dir);
 }
 

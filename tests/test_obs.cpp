@@ -4,6 +4,8 @@
 // lane runs this file), Chrome trace JSON export, the JSON writer, the
 // EpochStats min-sentinel fix, and elide()'s fallback-cause split.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cctype>
@@ -16,6 +18,7 @@
 #include "htm/retry.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/shm_stats.hpp"
 #include "obs/trace.hpp"
 
 namespace bdhtm {
@@ -224,6 +227,43 @@ TEST(ObsHistogram, ResetRestoresEmptyContract) {
   EXPECT_EQ(h.max(), 0u);
 }
 
+// Contract pins (DESIGN.md §13): downstream consumers (bdhtm_top, the
+// stats segment, bench JSON) rely on these exact edge-case values, so
+// they are asserted here explicitly rather than implied by the larger
+// distribution tests above.
+TEST(ObsHistogram, EmptyQuantileIsZeroAtEveryQ) {
+  const auto s = obs::Histogram{}.snapshot();
+  for (double q : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(s.quantile(q), 0u) << "q=" << q;
+  }
+}
+
+TEST(ObsHistogram, SingleSampleCollapsesMinMaxAndQuantiles) {
+  obs::Histogram h;
+  h.record(777);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 777u);
+  EXPECT_EQ(h.max(), 777u);
+  const auto s = h.snapshot();
+  // With one sample every quantile is that sample: the bucket midpoint
+  // is clamped into [min, max] == [777, 777].
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(s.quantile(q), 777u) << "q=" << q;
+  }
+  EXPECT_EQ(s.mean(), 777.0);
+}
+
+TEST(ObsHistogram, SingleZeroSampleIsDistinguishableByCount) {
+  obs::Histogram h;
+  h.record(0);
+  // min()==0 is shared with the empty histogram by design; count is the
+  // discriminator consumers must use.
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.snapshot().quantile(0.5), 0u);
+}
+
 TEST(ObsHistogram, SnapshotMergeCombines) {
   obs::Histogram a, b;
   a.record(10);
@@ -243,6 +283,35 @@ TEST(ObsHistogram, SnapshotMergeCombines) {
   EXPECT_EQ(sa.min, 5u);
 }
 
+// ---- Gauge -------------------------------------------------------------
+
+TEST(ObsGauge, SetAddValueReset) {
+  obs::Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.set(42);
+  EXPECT_EQ(g.value(), 42);
+  g.set(-7);  // gauges are signed: lag can legitimately read negative 0-ish
+  EXPECT_EQ(g.value(), -7);
+  g.add(10);
+  EXPECT_EQ(g.value(), 3);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(ObsGauge, LastWriterWinsAcrossThreads) {
+  obs::Gauge g;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&g, t] {
+      for (int i = 0; i < 10'000; ++i) g.set(t + 1);
+    });
+  }
+  for (auto& t : ts) t.join();
+  // Not an accumulation: the final value is whichever set() landed last.
+  EXPECT_GE(g.value(), 1);
+  EXPECT_LE(g.value(), 4);
+}
+
 // ---- Registry ----------------------------------------------------------
 
 TEST(ObsRegistry, FindOrCreateIsStable) {
@@ -253,6 +322,23 @@ TEST(ObsRegistry, FindOrCreateIsStable) {
   obs::Histogram& h1 = reg.histogram("x.lat");
   obs::Histogram& h2 = reg.histogram("x.lat");
   EXPECT_EQ(&h1, &h2);
+  obs::Gauge& g1 = reg.gauge("x.lag");
+  obs::Gauge& g2 = reg.gauge("x.lag");
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST(ObsRegistry, SnapshotIncludesGauges) {
+  obs::Registry reg;
+  reg.gauge("lag.b").set(9);
+  reg.gauge("lag.a").set(-3);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 2u);
+  EXPECT_EQ(snap.gauges[0].first, "lag.a");
+  EXPECT_EQ(snap.gauges[0].second, -3);
+  EXPECT_EQ(snap.gauges[1].first, "lag.b");
+  EXPECT_EQ(snap.gauges[1].second, 9);
+  reg.reset();
+  EXPECT_EQ(reg.snapshot().gauges[0].second, 0);
 }
 
 TEST(ObsRegistry, SnapshotIsSortedAndResetZeroes) {
@@ -404,6 +490,185 @@ TEST(ObsTrace, WriteChromeTraceRoundTrips) {
   EXPECT_TRUE(valid_json(back));
   EXPECT_EQ(count_occurrences(back, "\"name\":"),
             obs::trace_events_captured());
+}
+
+// ---- Trace rings across fork() -----------------------------------------
+
+// The child inherits byte copies of the parent's rings; the atfork
+// handler must reset them so a forking server (shm_server, bench
+// drivers) never exports the parent's events twice. The child runs its
+// assertions and reports via its exit code.
+TEST(ObsTrace, ForkedChildDoesNotAliasParentEvents) {
+  obs::reset_traces();
+  obs::set_tracing(true);
+  obs::trace_instant(obs::TraceEventType::kCrash, 1, 1);
+  obs::trace_instant(obs::TraceEventType::kCrash, 2, 2);
+  ASSERT_EQ(obs::trace_events_emitted(), 2u);
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: inherited events must be gone, own emission must work.
+    int rc = 0;
+    if (obs::trace_events_emitted() != 0) rc |= 1;
+    if (obs::trace_events_captured() != 0) rc |= 2;
+    obs::trace_instant(obs::TraceEventType::kRecovery, 7, 7);
+    if (obs::trace_events_emitted() != 1) rc |= 4;
+    const std::string json = obs::chrome_trace_json();
+    if (json.find("\"recovery.scan\"") == std::string::npos &&
+        json.find("\"recovery\"") == std::string::npos) {
+      // The child's own event must be exportable...
+      rc |= 8;
+    }
+    if (json.find("\"crash\"") != std::string::npos) {
+      // ...and the parent's must not reappear.
+      rc |= 16;
+    }
+    _exit(rc);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "child assertion bitmask";
+
+  // Parent is untouched by the child's reset.
+  EXPECT_EQ(obs::trace_events_emitted(), 2u);
+  obs::set_tracing(false);
+  obs::reset_traces();
+}
+
+// ---- Shared-memory stats segment (DESIGN.md §13) -----------------------
+
+TEST(ObsShmStats, PublishSampleRoundTrips) {
+  const std::string path = ::testing::TempDir() + "bdhtm_stats_rt.shm";
+  obs::StatsPublisher pub;
+  ASSERT_TRUE(pub.create(path));
+
+  obs::Registry reg;
+  reg.counter("svc.ops").add(12345);
+  reg.counter("svc.shed").add(6);
+  reg.gauge("epoch.persistence_lag_us").set(777);
+  auto& h = reg.histogram("svc.lat.queue_ns");
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v * 10);
+  std::vector<obs::StatsPublisher::SessionRow> rows = {
+      {"sess.0", 4242, 2, 99},
+      {"sess.1", 0, 0, 0},
+  };
+  pub.publish(reg.snapshot(), rows);
+
+  obs::StatsReader rd;
+  ASSERT_TRUE(rd.open(path));
+  obs::StatsSample s;
+  ASSERT_TRUE(rd.sample(s));
+
+  EXPECT_EQ(s.server_pid, static_cast<std::uint32_t>(getpid()));
+  EXPECT_GT(s.publish_ns, 0u);
+  EXPECT_GE(s.publish_ns, s.start_ns);
+  ASSERT_NE(s.counter("svc.ops"), nullptr);
+  EXPECT_EQ(*s.counter("svc.ops"), 12345u);
+  EXPECT_EQ(*s.counter("svc.shed"), 6u);
+  ASSERT_NE(s.gauge("epoch.persistence_lag_us"), nullptr);
+  EXPECT_EQ(*s.gauge("epoch.persistence_lag_us"), 777);
+  const auto* hs = s.hist("svc.lat.queue_ns");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 100u);
+  EXPECT_EQ(hs->min, 10u);
+  EXPECT_EQ(hs->max, 1000u);
+  EXPECT_GT(hs->p50, 0u);
+  EXPECT_LE(hs->p50, hs->p99);
+  EXPECT_LE(hs->p99, hs->max);
+  ASSERT_EQ(s.sessions.size(), 2u);
+  EXPECT_EQ(s.sessions[0].name, "sess.0");
+  EXPECT_EQ(s.sessions[0].pid, 4242u);
+  EXPECT_EQ(s.sessions[0].state, 2u);
+  EXPECT_EQ(s.sessions[0].ops, 99u);
+  EXPECT_EQ(s.counter("does.not.exist"), nullptr);
+
+  rd.close();
+  pub.close();  // unlinks
+  obs::StatsReader gone;
+  EXPECT_FALSE(gone.open(path));
+}
+
+TEST(ObsShmStats, RepublishOverwritesAndSignedGaugesSurvive) {
+  const std::string path = ::testing::TempDir() + "bdhtm_stats_rp.shm";
+  obs::StatsPublisher pub;
+  ASSERT_TRUE(pub.create(path));
+  obs::Registry reg;
+  reg.counter("c").add(1);
+  reg.gauge("g").set(-123456789);
+  pub.publish(reg.snapshot(), {});
+
+  obs::StatsReader rd;
+  ASSERT_TRUE(rd.open(path));
+  obs::StatsSample s1;
+  ASSERT_TRUE(rd.sample(s1));
+  EXPECT_EQ(*s1.counter("c"), 1u);
+  EXPECT_EQ(*s1.gauge("g"), -123456789);  // int64 bit-cast round trip
+
+  reg.counter("c").add(41);
+  const std::uint64_t first_pub = s1.publish_ns;
+  pub.publish(reg.snapshot(), {});
+  obs::StatsSample s2;
+  ASSERT_TRUE(rd.sample(s2));
+  EXPECT_EQ(*s2.counter("c"), 42u);
+  EXPECT_GE(s2.publish_ns, first_pub);
+  rd.close();
+  pub.close();
+}
+
+TEST(ObsShmStats, OpenRejectsGarbageAndWrongMagic) {
+  const std::string path = ::testing::TempDir() + "bdhtm_stats_bad.shm";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[64] = "this is not a stats segment";
+  std::fwrite(junk, 1, sizeof junk, f);
+  std::fclose(f);
+  obs::StatsReader rd;
+  EXPECT_FALSE(rd.open(path));
+  std::remove(path.c_str());
+  EXPECT_FALSE(rd.open(path));  // missing file
+}
+
+// Seqlock consistency under concurrent republish: the publisher writes
+// two counters that are always equal; any torn read would surface as a
+// mismatched pair. (The TSan lane runs this file; publish/sample carry
+// BDHTM_NO_SANITIZE_THREAD because the seqlock is the synchronization.)
+TEST(ObsShmStats, ConcurrentSamplesAreNeverTorn) {
+  const std::string path = ::testing::TempDir() + "bdhtm_stats_cc.shm";
+  obs::StatsPublisher pub;
+  ASSERT_TRUE(pub.create(path));
+  obs::Registry reg;
+  auto& a = reg.counter("pair.a");
+  auto& b = reg.counter("pair.b");
+  pub.publish(reg.snapshot(), {});
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      a.add(1);
+      b.add(1);
+      pub.publish(reg.snapshot(), {});
+    }
+  });
+
+  obs::StatsReader rd;
+  ASSERT_TRUE(rd.open(path));
+  std::uint64_t samples = 0;
+  for (int i = 0; i < 2000; ++i) {
+    obs::StatsSample s;
+    ASSERT_TRUE(rd.sample(s));
+    const std::uint64_t* va = s.counter("pair.a");
+    const std::uint64_t* vb = s.counter("pair.b");
+    ASSERT_NE(va, nullptr);
+    ASSERT_NE(vb, nullptr);
+    ASSERT_EQ(*va, *vb) << "torn sample after " << samples;
+    ++samples;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  rd.close();
+  pub.close();
 }
 
 // ---- JsonWriter --------------------------------------------------------

@@ -1,0 +1,279 @@
+// bdhtm_top: live server observability from the shared-memory stats
+// segment (DESIGN.md §13). Attaches READ-ONLY to the seqlock-guarded
+// segment a ShmServer publishes (Config::stats_path) and renders:
+//
+//   - throughput + shed rate (deltas between two samples),
+//   - the HTM abort-cause mix,
+//   - persistence lag (the live buffered-durability staleness bound),
+//   - latency decomposition quantiles (svc.lat.*),
+//   - per-session rows (pid, state, lifetime ops).
+//
+// Two modes:
+//   bdhtm_top --stats=PATH                 live TUI, refreshes per tick
+//   bdhtm_top --stats=PATH --once --json   one machine-readable sample
+//                                          (CI: obs-live-smoke lane)
+//
+// The reader never writes the segment and never blocks the server; a
+// vanished server is reported (pid probe) rather than hung on.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/shm_stats.hpp"
+
+namespace {
+
+using bdhtm::obs::StatsReader;
+using bdhtm::obs::StatsSample;
+
+struct Args {
+  std::string stats;
+  bool once = false;
+  bool json = false;
+  std::uint64_t interval_ms = 1000;  // TUI refresh / --once rate window
+};
+
+bool parse(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto eat = [&](const char* name, const char** out) {
+      const std::size_t n = std::strlen(name);
+      if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+        *out = arg + n + 1;
+        return true;
+      }
+      return false;
+    };
+    const char* v = nullptr;
+    if (eat("--stats", &v)) a->stats = v;
+    else if (eat("--interval-ms", &v)) a->interval_ms = std::strtoull(v, nullptr, 10);
+    else if (std::strcmp(arg, "--once") == 0) a->once = true;
+    else if (std::strcmp(arg, "--json") == 0) a->json = true;
+    else {
+      std::fprintf(stderr, "unknown arg: %s\n", arg);
+      return false;
+    }
+  }
+  if (a->interval_ms == 0) a->interval_ms = 1000;
+  return !a->stats.empty();
+}
+
+std::uint64_t counter_or_zero(const StatsSample& s, const char* name) {
+  const std::uint64_t* v = s.counter(name);
+  return v != nullptr ? *v : 0;
+}
+
+/// ops/s (or any counter's rate) between two samples; falls back to the
+/// lifetime average when the publisher did not tick between them (short
+/// --once windows against a long stats period).
+double rate_of(const StatsSample& a, const StatsSample& b, const char* name) {
+  const std::uint64_t vb = counter_or_zero(b, name);
+  if (b.publish_ns > a.publish_ns) {
+    const double dt = static_cast<double>(b.publish_ns - a.publish_ns) / 1e9;
+    const std::uint64_t va = counter_or_zero(a, name);
+    return dt > 0 ? static_cast<double>(vb - va) / dt : 0.0;
+  }
+  const double up = static_cast<double>(b.publish_ns - b.start_ns) / 1e9;
+  return up > 0 ? static_cast<double>(vb) / up : 0.0;
+}
+
+bool server_alive(const StatsSample& s) {
+  if (s.server_pid == 0) return false;
+  return !(kill(static_cast<pid_t>(s.server_pid), 0) != 0 && errno == ESRCH);
+}
+
+const char* session_state(std::uint32_t st) {
+  switch (st) {
+    case 0: return "idle";
+    case 1: return "armed";
+    case 2: return "serving";
+  }
+  return "?";
+}
+
+void emit_json(const StatsSample& a, const StatsSample& b) {
+  bdhtm::obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value("bdhtm-top/1");
+  w.key("server_pid");
+  w.value(static_cast<std::uint64_t>(b.server_pid));
+  w.key("server_alive");
+  w.value(server_alive(b));
+  w.key("uptime_s");
+  w.value(static_cast<double>(b.publish_ns - b.start_ns) / 1e9);
+  w.key("throughput_ops_s");
+  w.value(rate_of(a, b, "svc.ops"));
+  w.key("shed_rate_s");
+  w.value(rate_of(a, b, "svc.shed"));
+  w.key("abort_causes");
+  w.begin_object();
+  for (const auto& [name, v] : b.counters) {
+    if (name.rfind("htm.abort.", 0) == 0) {
+      w.key(name);
+      w.value(v);
+    }
+  }
+  w.end_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : b.counters) {
+    w.key(name);
+    w.value(v);
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : b.gauges) {
+    w.key(name);
+    w.value(static_cast<std::int64_t>(v));
+  }
+  w.end_object();
+  w.key("hists");
+  w.begin_object();
+  for (const auto& h : b.hists) {
+    w.key(h.name);
+    w.begin_object();
+    w.key("count");
+    w.value(h.count);
+    w.key("sum");
+    w.value(h.sum);
+    w.key("min");
+    w.value(h.min);
+    w.key("max");
+    w.value(h.max);
+    w.key("p50");
+    w.value(h.p50);
+    w.key("p95");
+    w.value(h.p95);
+    w.key("p99");
+    w.value(h.p99);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("sessions");
+  w.begin_array();
+  for (const auto& s : b.sessions) {
+    w.begin_object();
+    w.key("name");
+    w.value(s.name);
+    w.key("pid");
+    w.value(static_cast<std::uint64_t>(s.pid));
+    w.key("state");
+    w.value(session_state(s.state));
+    w.key("ops");
+    w.value(s.ops);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::printf("%s\n", std::move(w).str().c_str());
+}
+
+void render_tui(const StatsSample& a, const StatsSample& b) {
+  // ANSI clear + home; plain additive rendering, no curses dependency.
+  std::printf("\033[2J\033[H");
+  std::printf("bdhtm_top — server pid %u (%s), uptime %.1fs\n",
+              b.server_pid, server_alive(b) ? "alive" : "GONE",
+              static_cast<double>(b.publish_ns - b.start_ns) / 1e9);
+  std::printf("  throughput %10.0f ops/s    shed %8.1f /s\n",
+              rate_of(a, b, "svc.ops"), rate_of(a, b, "svc.shed"));
+  const std::int64_t* lag = b.gauge("epoch.persistence_lag_us");
+  std::printf("  persistence lag %8" PRId64 " us", lag != nullptr ? *lag : 0);
+  if (const auto* h = b.hist("epoch.persistence_lag_us")) {
+    std::printf("   (p50 %" PRIu64 "  p99 %" PRIu64 "  n=%" PRIu64 ")",
+                h->p50, h->p99, h->count);
+  }
+  std::printf("\n\n  abort causes:\n");
+  const std::uint64_t commits = counter_or_zero(b, "htm.commits");
+  for (const auto& [name, v] : b.counters) {
+    if (name.rfind("htm.abort.", 0) == 0 && v != 0) {
+      std::printf("    %-36s %12" PRIu64 "\n", name.c_str(), v);
+    }
+  }
+  std::printf("    %-36s %12" PRIu64 "\n", "htm.commits", commits);
+  std::printf("\n  latency decomposition (ns):\n");
+  for (const char* name : {"svc.lat.queue_ns", "svc.lat.htm_ns",
+                           "svc.lat.epoch_wait_ns", "svc.lat.flush_ns",
+                           "svc.ack.buffered_ns", "svc.ack.durable_ns"}) {
+    if (const auto* h = b.hist(name)) {
+      std::printf("    %-24s p50 %10" PRIu64 "  p99 %10" PRIu64
+                  "  n %10" PRIu64 "\n",
+                  name, h->p50, h->p99, h->count);
+    }
+  }
+  std::printf("\n  sessions:\n");
+  for (const auto& s : b.sessions) {
+    std::printf("    %-8s pid %-8u %-8s ops %12" PRIu64 "\n", s.name.c_str(),
+                s.pid, session_state(s.state), s.ops);
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse(argc, argv, &a)) {
+    std::fprintf(stderr,
+                 "usage: bdhtm_top --stats=PATH [--once] [--json] "
+                 "[--interval-ms=N]\n");
+    return 2;
+  }
+
+  StatsReader reader;
+  if (!reader.open(a.stats)) {
+    std::fprintf(stderr, "bdhtm_top: cannot open stats segment %s\n",
+                 a.stats.c_str());
+    return 2;
+  }
+
+  StatsSample prev;
+  if (!reader.sample(prev)) {
+    std::fprintf(stderr, "bdhtm_top: segment never stabilized\n");
+    return 3;
+  }
+
+  if (a.once) {
+    // Rate window: a second sample interval_ms later; rate_of falls
+    // back to lifetime averages if the publisher did not tick between.
+    std::this_thread::sleep_for(std::chrono::milliseconds(a.interval_ms));
+    StatsSample cur;
+    if (!reader.sample(cur)) {
+      std::fprintf(stderr, "bdhtm_top: segment never stabilized\n");
+      return 3;
+    }
+    if (a.json) {
+      emit_json(prev, cur);
+    } else {
+      render_tui(prev, cur);
+    }
+    return 0;
+  }
+
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(a.interval_ms));
+    StatsSample cur;
+    if (!reader.sample(cur)) {
+      std::fprintf(stderr, "bdhtm_top: segment never stabilized\n");
+      return 3;
+    }
+    if (a.json) {
+      emit_json(prev, cur);
+    } else {
+      render_tui(prev, cur);
+    }
+    if (!server_alive(cur)) return 0;  // final frame already rendered
+    prev = cur;
+  }
+}

@@ -27,6 +27,7 @@
 
 #include "ipc/client.hpp"
 #include "ipc/futex.hpp"
+#include "ipc/span.hpp"
 
 namespace {
 
@@ -57,6 +58,7 @@ struct Args {
   std::uint64_t idle_ms = 0;
   bool idle_heartbeat = false;
   std::string mode = "put";
+  std::string trace_out;  // client-side span events as Chrome trace JSON
   int fault_point = 0;
   std::uint64_t fault_at = 1;
 };
@@ -89,6 +91,7 @@ bool parse(int argc, char** argv, Args* a) {
     else if (eat("--idle-after", &v)) a->idle_after = num(v);
     else if (eat("--idle-ms", &v)) a->idle_ms = num(v);
     else if (eat("--mode", &v)) a->mode = v;
+    else if (eat("--trace-out", &v)) a->trace_out = v;
     else if (eat("--fault-point", &v)) a->fault_point = static_cast<int>(num(v));
     else if (eat("--fault-at", &v)) a->fault_at = num(v);
     else if (std::strcmp(arg, "--idle-heartbeat") == 0) a->idle_heartbeat = true;
@@ -106,6 +109,7 @@ struct Pending {
   std::uint64_t key = 0;
   std::uint64_t value = 0;
   std::uint64_t t0 = 0;
+  std::uint64_t span = 0;
 };
 
 }  // namespace
@@ -117,6 +121,7 @@ int main(int argc, char** argv) {
                  "usage: ipc_client --dir=DIR [--slots=N] [--flight=N] "
                  "[--ops=N] [--ms=N] [--key-base=N] [--key-count=N] "
                  "[--mode=put|mixed] [--seed=N] [--log=FILE] "
+                 "[--trace-out=FILE] "
                  "[--fault-point=1..4] [--fault-at=N] "
                  "[--idle-after=N] [--idle-ms=N] [--idle-heartbeat]\n");
     return 2;
@@ -148,19 +153,30 @@ int main(int argc, char** argv) {
   std::vector<std::uint64_t> lat;
   lat.reserve(1 << 14);
   int rc = 0;
+  const bool tracing = !a.trace_out.empty();
+  SpanRecorder spans;
 
   auto retire_one = [&]() -> bool {
     Pending p = window.front();
     window.erase(window.begin());
     ShmClient::Reply rep;
+    const std::uint64_t t_wait = mono_ns();
     const ShmClient::Err e = cli.wait(p.slot, &rep);
     if (e != ShmClient::Err::kOk) {
       ++errs;
       rc = e == ShmClient::Err::kServerGone ? 3 : 4;
       return false;
     }
+    const std::uint64_t t_ack = mono_ns();
+    if (tracing && p.span != 0) {
+      // Client-side lifecycle stages; the server emits the matching
+      // req.* events into its own rings and the two JSONs merge on the
+      // shared span id (same host CLOCK_MONOTONIC on both sides).
+      spans.complete("req.client", p.span, p.t0, t_ack);
+      spans.complete("req.wait", p.span, t_wait, t_ack);
+    }
     ++acked;
-    if (lat.size() < (1u << 16)) lat.push_back(mono_ns() - p.t0);
+    if (lat.size() < (1u << 16)) lat.push_back(t_ack - p.t0);
     std::fprintf(log, "A %u %" PRIu64 " %" PRIu64 " %u %u %" PRIu64 "\n",
                  p.op, p.key, p.value, rep.status, rep.ok ? 1 : 0,
                  rep.complete_epoch);
@@ -204,6 +220,11 @@ int main(int argc, char** argv) {
         if (!window.empty()) retire_one();
         continue;
       }
+      if (tracing) {
+        p.span = cli.span_of(p.slot);
+        // Publish stage: submit() call -> doorbell rung.
+        spans.complete("req.publish", p.span, p.t0, mono_ns());
+      }
       ++issued;
       window.push_back(p);
       continue;
@@ -227,6 +248,10 @@ int main(int argc, char** argv) {
                " p50_ns=%" PRIu64 " p99_ns=%" PRIu64 "\n",
                acked, errs, noslot, q(0.50), q(0.99));
   std::fflush(log);
+  if (tracing && !spans.write(a.trace_out)) {
+    std::fprintf(stderr, "ipc_client: writing %s failed\n",
+                 a.trace_out.c_str());
+  }
   cli.disconnect();
   return rc;
 }

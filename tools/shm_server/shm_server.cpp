@@ -1,0 +1,172 @@
+// shm_server: standalone host process for the shared-memory transport
+// (DESIGN.md §12) with the live stats segment (§13). Builds the full
+// durable stack — simulated NVM device, persistent allocator, epoch
+// system, sharded KVStore — and serves client arenas dropped into
+// --dir until a signal arrives or --ms expires.
+//
+// This is the server half of the CI obs-live-smoke lane:
+//
+//   shm_server --dir=/tmp/d --stats=/tmp/d/stats.shm &
+//   ipc_client --dir=/tmp/d --ms=2000 --trace-out=client.json
+//   bdhtm_top  --stats=/tmp/d/stats.shm --once --json
+//
+// With --trace-out the server enables obs tracing and exports its trace
+// rings as Chrome trace JSON at shutdown — the server half of the merged
+// per-request span timeline (the client half comes from ipc_client's own
+// --trace-out; both stamp the same host CLOCK_MONOTONIC).
+//
+// Exit codes: 0 clean shutdown, 2 bad args / dir not writable.
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "alloc/pallocator.hpp"
+#include "common/spin.hpp"
+#include "epoch/epoch_sys.hpp"
+#include "ipc/server.hpp"
+#include "nvm/device.hpp"
+#include "obs/trace.hpp"
+#include "svc/kvstore.hpp"
+
+namespace {
+
+using namespace bdhtm;
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+struct Args {
+  std::string dir;
+  std::string stats;
+  std::string trace_out;
+  std::uint64_t stats_period_us = 100'000;
+  std::uint64_t epoch_us = 10'000;
+  std::uint64_t ms = 0;  // 0 = run until SIGINT/SIGTERM
+  std::uint64_t capacity_mb = 512;
+  std::uint32_t sessions = 8;
+  int shards = 2;
+  int workers = 2;
+  std::size_t queue_capacity = 64;
+  std::size_t max_batch = 16;
+  bool durable_acks = false;  // default: buffered-durability acks
+};
+
+std::uint64_t num(const char* s) { return std::strtoull(s, nullptr, 10); }
+
+bool parse(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto eat = [&](const char* name, const char** out) {
+      const std::size_t n = std::strlen(name);
+      if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+        *out = arg + n + 1;
+        return true;
+      }
+      return false;
+    };
+    const char* v = nullptr;
+    if (eat("--dir", &v)) a->dir = v;
+    else if (eat("--stats", &v)) a->stats = v;
+    else if (eat("--trace-out", &v)) a->trace_out = v;
+    else if (eat("--stats-period-us", &v)) a->stats_period_us = num(v);
+    else if (eat("--epoch-us", &v)) a->epoch_us = num(v);
+    else if (eat("--ms", &v)) a->ms = num(v);
+    else if (eat("--capacity-mb", &v)) a->capacity_mb = num(v);
+    else if (eat("--sessions", &v)) a->sessions = static_cast<std::uint32_t>(num(v));
+    else if (eat("--shards", &v)) a->shards = static_cast<int>(num(v));
+    else if (eat("--workers", &v)) a->workers = static_cast<int>(num(v));
+    else if (eat("--queue-capacity", &v)) a->queue_capacity = num(v);
+    else if (eat("--max-batch", &v)) a->max_batch = num(v);
+    else if (std::strcmp(arg, "--durable-acks") == 0) a->durable_acks = true;
+    else {
+      std::fprintf(stderr, "unknown arg: %s\n", arg);
+      return false;
+    }
+  }
+  return !a->dir.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse(argc, argv, &a)) {
+    std::fprintf(stderr,
+                 "usage: shm_server --dir=DIR [--stats=PATH] "
+                 "[--stats-period-us=N] [--trace-out=FILE] [--ms=N] "
+                 "[--epoch-us=N] [--capacity-mb=N] [--sessions=N] "
+                 "[--shards=N] [--workers=N] [--queue-capacity=N] "
+                 "[--max-batch=N] [--durable-acks]\n");
+    return 2;
+  }
+
+  signal(SIGINT, &on_signal);
+  signal(SIGTERM, &on_signal);
+  // A vanished ipc_client is reclaimed by the deadman lease, not by us.
+  signal(SIGPIPE, SIG_IGN);
+
+  if (!a.trace_out.empty()) obs::set_tracing(true);
+
+  nvm::DeviceConfig dcfg;
+  dcfg.capacity = a.capacity_mb << 20;
+  nvm::Device dev(dcfg);
+  alloc::PAllocator pa(dev);
+  epoch::EpochSys::Config ecfg;
+  ecfg.epoch_length_us = a.epoch_us;
+  epoch::EpochSys es(pa, ecfg);
+
+  svc::KVStoreConfig kcfg;
+  kcfg.backend = svc::Backend::kHash;
+  kcfg.shards = a.shards;
+  kcfg.workers = a.workers;
+  // Client 0 stays free for in-process probes; sessions use 1..sessions.
+  kcfg.clients = 1 + static_cast<int>(a.sessions);
+  kcfg.queue_capacity = a.queue_capacity;
+  kcfg.max_batch = a.max_batch;
+  kcfg.release = a.durable_acks ? svc::ReleasePolicy::kDurable
+                                : svc::ReleasePolicy::kBuffered;
+  svc::KVStore store(es, kcfg);
+
+  ipc::ShmServer::Config scfg;
+  scfg.dir = a.dir;
+  scfg.max_sessions = a.sessions;
+  scfg.kv_client_base = 1;
+  scfg.stats_path = a.stats;
+  scfg.stats_period_us = a.stats_period_us;
+  auto server = std::make_unique<ipc::ShmServer>(store, scfg);
+
+  std::fprintf(stderr, "shm_server: pid %d serving %s%s%s\n",
+               static_cast<int>(getpid()), a.dir.c_str(),
+               a.stats.empty() ? "" : ", stats ", a.stats.c_str());
+
+  const std::uint64_t deadline =
+      a.ms != 0 ? now_ns() + a.ms * 1'000'000ULL : ~0ULL;
+  while (!g_stop.load(std::memory_order_relaxed) && now_ns() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  server->close();  // final stats publish happens inside close()
+  store.close();
+
+  const ipc::ShmServer::Stats st = server->stats();
+  std::fprintf(stderr,
+               "shm_server: accepted=%" PRIu64 " requests=%" PRIu64
+               " responses=%" PRIu64 " reclaims=%" PRIu64 "\n",
+               st.accepted, st.requests, st.responses, st.reclaims);
+
+  if (!a.trace_out.empty() && !obs::write_chrome_trace(a.trace_out)) {
+    std::fprintf(stderr, "shm_server: writing %s failed\n",
+                 a.trace_out.c_str());
+  }
+  return 0;
+}

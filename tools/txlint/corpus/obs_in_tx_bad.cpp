@@ -1,0 +1,19 @@
+// Known-bad: observability emission inside the transaction body. The
+// trace ring write and the histogram record are plain stores visible to
+// the exporter — an aborted transaction has already emitted the event
+// and skewed the distribution — and the clock read they both make can
+// abort a real hardware transaction. Sample the timestamp before
+// tx_begin and emit after commit (the svc envelope does exactly this:
+// one histogram record per batch, after the elide returns).
+// txlint-expect: no-obs-in-tx
+// txlint-expect: no-obs-in-tx
+
+void traced_insert(htm::ElidedLock& lock, Map& m, obs::Histogram& h, Key k) {
+  htm::run([&](htm::Txn& tx) {
+    lock.subscribe(tx);
+    const std::uint64_t t0 = now_ns();
+    m.put(tx, k);
+    h.record(now_ns() - t0);  // BUG: histogram store is speculative
+    obs::trace_instant(obs::TraceEventType::kSvcBatch, k);  // BUG: ring emit
+  });
+}

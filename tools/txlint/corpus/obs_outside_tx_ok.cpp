@@ -1,0 +1,25 @@
+// Clean: the sanctioned shape for instrumenting a transaction. The
+// timestamp is sampled before tx_begin, the histogram record and trace
+// emission happen strictly after the elide returns, and the checked-lane
+// probe (an allow()ed record used by the runtime-mirror test) shows the
+// suppression path for deliberate in-tx emission.
+// txlint-expect: none
+
+void timed_insert(htm::ElidedLock& lock, Map& m, obs::Histogram& h, Key k) {
+  const std::uint64_t t0 = now_ns();  // ok: sampled before the tx begins
+  htm::run([&](htm::Txn& tx) {
+    lock.subscribe(tx);
+    m.put(tx, k);
+  });
+  h.record(now_ns() - t0);  // ok: emitted after commit
+  obs::trace_complete(obs::TraceEventType::kSvcBatch, t0, k);
+}
+
+void checked_probe(htm::ElidedLock& lock, Map& m, obs::Histogram& h, Key k) {
+  htm::run([&](htm::Txn& tx) {
+    lock.subscribe(tx);
+    m.put(tx, k);
+    // txlint: allow(no-obs-in-tx)
+    h.record(1);  // intentional: the checked test asserts the runtime trap
+  });
+}

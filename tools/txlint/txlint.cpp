@@ -73,6 +73,7 @@ enum class Rule {
   kUnbalancedEpochOp,
   kFallbackStripeOrder,
   kIpcClientNvm,
+  kNoObsInTx,
   kNumRules,
 };
 
@@ -94,6 +95,8 @@ const char* rule_name(Rule r) {
       return "fallback-stripe-order";
     case Rule::kIpcClientNvm:
       return "ipc-client-nvm";
+    case Rule::kNoObsInTx:
+      return "no-obs-in-tx";
     default:
       return "?";
   }
@@ -141,17 +144,27 @@ const std::set<std::string, std::less<>> kRetireCalls = {
     "pDelete",
 };
 
-// Irrevocable: syscalls/I-O, blocking locks, epoch-table mutation, and
-// observability emission (the trace ring does plain stores + a syscall
-// clock read; inside a tx those writes are speculative yet the side
-// channel is not).
+// Irrevocable: syscalls/I-O, blocking locks, epoch-table mutation.
 const std::set<std::string, std::less<>> kIrrevocableCalls = {
     "printf", "fprintf",  "puts",      "fputs",     "fwrite",
     "fread",  "fopen",    "fclose",    "fsync",     "open",
     "close",  "write",    "read",      "system",    "exit",
     "sleep",  "usleep",   "nanosleep", "sleep_for", "acquire",
     "lock",   "unlock",   "try_lock",  "beginOp",   "endOp",
-    "abortOp", "trace_instant", "trace_begin", "trace_end",
+    "abortOp",
+};
+
+// Observability emission (no-obs-in-tx, split from irrevocable-in-tx):
+// the trace rings and histogram records do plain cross-thread-visible
+// stores plus a clock read. Inside a transaction those stores are
+// speculative — an aborted transaction has already emitted the event /
+// skewed the histogram, and under real HTM the clock read itself can
+// abort. Emit before tx_begin or after commit; the envelope already
+// samples per batch. Runtime mirror: BDHTM_CHECKED traps in
+// obs::Histogram::record / trace_instant / trace_complete.
+const std::set<std::string, std::less<>> kObsCalls = {
+    "trace_instant", "trace_complete", "trace_begin", "trace_end",
+    "record",
 };
 
 // Bare identifiers (no call parens required) that are irrevocable.
@@ -869,6 +882,16 @@ struct Analyzer {
           } else {
             f->open_ops--;
           }
+        }
+        continue;
+      }
+      if (kObsCalls.count(name)) {
+        if (tx) {
+          report(tk.line, Rule::kNoObsInTx,
+                 "'" + name +
+                     "' emits observability data inside a transaction body "
+                     "(speculative stores leak on abort; sample before "
+                     "tx_begin or after commit)");
         }
         continue;
       }
