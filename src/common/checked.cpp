@@ -4,6 +4,15 @@
 #include <cstdio>
 #include <cstdlib>
 
+#ifdef BDHTM_CHECKED
+#include <map>
+#include <mutex>
+#include <vector>
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+#endif
+
 #include "obs/json.hpp"
 
 namespace bdhtm::checked {
@@ -58,6 +67,10 @@ const char* rule_name(Rule r) {
       return "fallback-stripe-order";
     case Rule::kNoObsInTx:
       return "no-obs-in-tx";
+    case Rule::kPublishBeforePersist:
+      return "publish-before-persist";
+    case Rule::kEscapeUnpersistedStack:
+      return "escape-unpersisted-stack";
     case Rule::kNumRules:
       break;
   }
@@ -87,6 +100,164 @@ void reset_violation_counts() {
 void violation(Rule rule, const char* site) {
   g_counts[static_cast<int>(rule)].fetch_add(1, std::memory_order_relaxed);
   g_handler.load(std::memory_order_acquire)(rule, site);
+}
+
+// ---------------------------------------------------------------------------
+// publish-before-persist registry (header contract in checked.hpp).
+//
+// Presence in g_pb_virgin means "pNew'd, never captured". The generation
+// stamp defeats ABA: a block freed and re-allocated at the same address
+// between a publish and its endOp judgement gets a new generation, so
+// the stale pending no longer matches and is dropped — exactly right,
+// because the original block's lifetime ended before the epoch could
+// have persisted the published pointer.
+
+namespace {
+
+struct PbBlock {
+  std::uintptr_t len;
+  std::uint64_t gen;
+};
+
+struct PbPending {
+  std::uintptr_t base;
+  std::uint64_t gen;
+  const char* site;
+};
+
+std::mutex g_pb_mu;
+std::map<std::uintptr_t, PbBlock> g_pb_virgin;  // base -> block, disjoint
+std::uint64_t g_pb_gen = 0;
+
+thread_local std::vector<PbPending> t_pb_pending;
+thread_local bool t_pb_in_op = false;
+
+/// Erase every virgin block overlapping [lo, lo+len). Caller holds the
+/// lock. Blocks are disjoint, so walking back from the first base past
+/// the range visits exactly the candidates.
+void pb_erase_overlaps(std::uintptr_t lo, std::uintptr_t len) {
+  const std::uintptr_t hi = lo + len;
+  auto it = g_pb_virgin.lower_bound(hi);
+  while (it != g_pb_virgin.begin()) {
+    --it;
+    if (it->first + it->second.len <= lo) break;
+    it = g_pb_virgin.erase(it);
+  }
+}
+
+/// The virgin block containing `addr`, or end(). Caller holds the lock.
+std::map<std::uintptr_t, PbBlock>::iterator pb_find_containing(
+    std::uintptr_t addr) {
+  auto it = g_pb_virgin.upper_bound(addr);
+  if (it == g_pb_virgin.begin()) return g_pb_virgin.end();
+  --it;
+  return addr < it->first + it->second.len ? it : g_pb_virgin.end();
+}
+
+/// [lo, hi) of the calling thread's stack, or {0, 0} when unavailable.
+/// Cached per thread: pthread_getattr_np parses /proc/self/maps.
+struct PbStack {
+  std::uintptr_t lo = 0;
+  std::uintptr_t hi = 0;
+};
+
+PbStack pb_stack_bounds() {
+#if defined(__linux__)
+  thread_local PbStack cached = [] {
+    PbStack s;
+    pthread_attr_t attr;
+    if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+      void* addr = nullptr;
+      std::size_t size = 0;
+      if (pthread_attr_getstack(&attr, &addr, &size) == 0) {
+        s.lo = reinterpret_cast<std::uintptr_t>(addr);
+        s.hi = s.lo + size;
+      }
+      pthread_attr_destroy(&attr);
+    }
+    return s;
+  }();
+  return cached;
+#else
+  return {};
+#endif
+}
+
+}  // namespace
+
+void pb_register_block(const void* base, std::size_t len) {
+  if (base == nullptr || len == 0) return;
+  const auto lo = reinterpret_cast<std::uintptr_t>(base);
+  std::lock_guard lk(g_pb_mu);
+  // Drop stale entries the new block's range shadows (a prior occupant
+  // freed without pb_release_block), then register.
+  pb_erase_overlaps(lo, len);
+  g_pb_virgin[lo] = {static_cast<std::uintptr_t>(len), ++g_pb_gen};
+}
+
+void pb_capture_range(const void* addr, std::size_t len) {
+  if (addr == nullptr || len == 0) return;
+  std::lock_guard lk(g_pb_mu);
+  pb_erase_overlaps(reinterpret_cast<std::uintptr_t>(addr), len);
+}
+
+void pb_release_block(const void* base) {
+  if (base == nullptr) return;
+  std::lock_guard lk(g_pb_mu);
+  auto it = pb_find_containing(reinterpret_cast<std::uintptr_t>(base));
+  if (it != g_pb_virgin.end()) g_pb_virgin.erase(it);
+}
+
+void pb_publish_value(std::uint64_t value, const char* site) {
+  const auto addr = static_cast<std::uintptr_t>(value);
+  const PbStack stack = pb_stack_bounds();
+  if (stack.lo != 0 && addr >= stack.lo && addr < stack.hi) {
+    violation(Rule::kEscapeUnpersistedStack, site);
+    return;
+  }
+  std::uintptr_t base = 0;
+  std::uint64_t gen = 0;
+  {
+    std::lock_guard lk(g_pb_mu);
+    auto it = pb_find_containing(addr);
+    if (it == g_pb_virgin.end()) return;
+    base = it->first;
+    gen = it->second.gen;
+  }
+  if (t_pb_in_op) {
+    // Sanctioned Listing-1 shape: publish inside the transaction, then
+    // pTrack before endOp. Judge at endOp, after the capture had its
+    // chance.
+    t_pb_pending.push_back({base, gen, site});
+  } else {
+    // No operation envelope: no endOp is coming, and with it no pTrack
+    // — the pointer is durable but the payload can never be captured.
+    violation(Rule::kPublishBeforePersist, site);
+  }
+}
+
+void pb_begin_op() {
+  t_pb_in_op = true;
+  t_pb_pending.clear();
+}
+
+void pb_end_op() {
+  t_pb_in_op = false;
+  for (const PbPending& p : t_pb_pending) {
+    bool still_virgin = false;
+    {
+      std::lock_guard lk(g_pb_mu);
+      auto it = g_pb_virgin.find(p.base);
+      still_virgin = it != g_pb_virgin.end() && it->second.gen == p.gen;
+    }
+    if (still_virgin) violation(Rule::kPublishBeforePersist, p.site);
+  }
+  t_pb_pending.clear();
+}
+
+void pb_abort_op() {
+  t_pb_in_op = false;
+  t_pb_pending.clear();
 }
 #endif
 

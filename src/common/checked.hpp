@@ -15,6 +15,7 @@
 // false, so `if (checked::enabled() && ...)` guards are dead code.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace bdhtm::checked {
@@ -22,13 +23,15 @@ namespace bdhtm::checked {
 /// The protocol rules, named identically to txlint's diagnostics so a
 /// static finding and its runtime trap are trivially cross-referenced.
 enum class Rule : int {
-  kPersistInTx = 0,      // "persist-in-tx"
-  kAllocInTx,            // "alloc-in-tx"
-  kRetireBeforeCommit,   // "retire-before-commit"
-  kIrrevocableInTx,      // "irrevocable-in-tx"
-  kUnbalancedEpochOp,    // "unbalanced-epoch-op"
-  kFallbackStripeOrder,  // "fallback-stripe-order"
-  kNoObsInTx,            // "no-obs-in-tx"
+  kPersistInTx = 0,        // "persist-in-tx"
+  kAllocInTx,              // "alloc-in-tx"
+  kRetireBeforeCommit,     // "retire-before-commit"
+  kIrrevocableInTx,        // "irrevocable-in-tx"
+  kUnbalancedEpochOp,      // "unbalanced-epoch-op"
+  kFallbackStripeOrder,    // "fallback-stripe-order"
+  kNoObsInTx,              // "no-obs-in-tx"
+  kPublishBeforePersist,   // "publish-before-persist"
+  kEscapeUnpersistedStack, // "escape-unpersisted-stack"
   kNumRules,
 };
 
@@ -76,6 +79,54 @@ inline void violation(Rule, const char*) {}
 /// process exit when the BDHTM_CHECKED_REPORT environment variable names
 /// a path — the CI `checked` lane uploads that file as an artifact.
 bool write_report(const char* path);
+
+// ---------------------------------------------------------------------------
+// publish-before-persist tracking (runtime mirror of txlint's dataflow
+// rule; see DESIGN.md §9).
+//
+// A pNew'd block is *virgin* until any of its bytes enter the epoch
+// write-set (pSet destination or pTrack). Storing a pointer INTO a
+// virgin block as an NVM value is a pending publish; it becomes a
+// violation if the block is still virgin when endOp closes the
+// operation envelope — at that point the epoch can advance and persist
+// the pointer while the payload has never been captured. The same value
+// scan traps immediately (escape-unpersisted-stack) when a durable
+// value points into the current thread's stack.
+//
+// Hooks are called from EpochSys (pNew/pSet/pTrack/pDelete/endOp/
+// abortOp), the HTM commit write-back, and the non-transactional NVM
+// accessor. All are compiled out of unchecked builds.
+
+#ifdef BDHTM_CHECKED
+/// A block left pNew: virgin until captured. `base` is the header
+/// address; `len` covers header + payload.
+void pb_register_block(const void* base, std::size_t len);
+/// Any overlap of [addr, addr+len) with a virgin block captures it.
+void pb_capture_range(const void* addr, std::size_t len);
+/// pDelete / allocator free: the block (captured or not) is gone.
+void pb_release_block(const void* base);
+/// A 64-bit value was made durable at `site`. Records a pending publish
+/// when it points into a virgin block (judged at endOp if inside an
+/// operation envelope, immediately otherwise); traps
+/// escape-unpersisted-stack when it points into the current thread's
+/// stack.
+void pb_publish_value(std::uint64_t value, const char* site);
+/// beginOp: subsequent publishes on this thread are judged at endOp.
+void pb_begin_op();
+/// endOp: trap publish-before-persist for pending publishes whose block
+/// is still virgin, then clear this thread's pendings.
+void pb_end_op();
+/// abortOp: the operation never happened; drop this thread's pendings.
+void pb_abort_op();
+#else
+inline void pb_register_block(const void*, std::size_t) {}
+inline void pb_capture_range(const void*, std::size_t) {}
+inline void pb_release_block(const void*) {}
+inline void pb_publish_value(std::uint64_t, const char*) {}
+inline void pb_begin_op() {}
+inline void pb_end_op() {}
+inline void pb_abort_op() {}
+#endif
 
 /// RAII handler swap for tests that provoke violations on purpose.
 class ScopedHandler {

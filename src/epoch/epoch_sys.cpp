@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <stdexcept>
 
 #include "common/checked.hpp"
@@ -161,6 +162,7 @@ std::uint64_t EpochSys::beginOp() {
   ts.op_epoch = e;
   ts.op_tracked.clear();
   ts.op_retired.clear();
+  checked::pb_begin_op();
   return e;
 }
 
@@ -175,6 +177,10 @@ void EpochSys::endOp() {
                        "epoch::EpochSys::endOp (no operation open)");
     assert(checked::enabled() && "endOp without beginOp");
   }
+  // Judgement point for publish-before-persist: pSet/pTrack captures
+  // already ran, so any published pointer whose block is still virgin
+  // here will never be captured before the epoch can persist it.
+  checked::pb_end_op();
   const std::size_t slot_idx = ts.op_epoch % 4;
   auto& tracked = ts.epoch_tracked[slot_idx];
   tracked.insert(tracked.end(), ts.op_tracked.begin(), ts.op_tracked.end());
@@ -199,6 +205,7 @@ void EpochSys::abortOp() {
                        "epoch::EpochSys::abortOp (no operation open)");
     assert(checked::enabled() && "abortOp without beginOp");
   }
+  checked::pb_abort_op();
   // Undo retire marks applied by the aborted operation.
   nvm::Device& dev = pa_.device();
   for (void* p : ts.op_retired) {
@@ -221,7 +228,12 @@ void* EpochSys::pNew(std::size_t size) {
   if (checked::enabled() && htm::in_txn()) {
     checked::violation(checked::Rule::kAllocInTx, "epoch::EpochSys::pNew");
   }
-  return pa_.alloc(size);
+  void* p = pa_.alloc(size);
+  if (checked::enabled() && p != nullptr) {
+    auto* hdr = alloc::PAllocator::header_of(p);
+    checked::pb_register_block(hdr, sizeof(*hdr) + size);
+  }
+  return p;
 }
 
 void EpochSys::pSet(void* payload, const void* data, std::size_t len,
@@ -234,6 +246,19 @@ void EpochSys::pSet(void* payload, const void* data, std::size_t len,
   auto* dst = static_cast<std::byte*>(payload) + offset;
   pa_.device().write_bytes(dst, data, len);
   tstate().op_tracked.push_back({dst, static_cast<std::uint32_t>(len)});
+  if (checked::enabled()) {
+    // The destination bytes enter the epoch write-set (capture); the
+    // written *values* are durable content — any pointer-sized word
+    // among them that aims at a virgin block is a publish.
+    checked::pb_capture_range(dst, len);
+    const auto* bytes = static_cast<const std::byte*>(data);
+    for (std::size_t k = 0; k + sizeof(std::uint64_t) <= len;
+         k += sizeof(std::uint64_t)) {
+      std::uint64_t word;
+      std::memcpy(&word, bytes + k, sizeof(word));
+      checked::pb_publish_value(word, "epoch::EpochSys::pSet");
+    }
+  }
 }
 
 void EpochSys::pRetire(void* payload) {
@@ -260,6 +285,7 @@ void EpochSys::pDelete(void* payload) {
     checked::violation(checked::Rule::kRetireBeforeCommit,
                        "epoch::EpochSys::pDelete");
   }
+  checked::pb_release_block(alloc::PAllocator::header_of(payload));
   pa_.free(payload);
 }
 
@@ -274,6 +300,8 @@ void EpochSys::pTrack(void* payload) {
   auto* hdr = alloc::PAllocator::header_of(payload);
   ts.op_tracked.push_back(
       {hdr, static_cast<std::uint32_t>(sizeof(*hdr) + hdr->user_size)});
+  checked::pb_capture_range(
+      hdr, sizeof(*hdr) + static_cast<std::size_t>(hdr->user_size));
 }
 
 void EpochSys::advance() { advance(std::stop_token{}); }
@@ -418,6 +446,7 @@ void EpochSys::advance_locked(const std::stop_token& st) {
   // double as safe memory reclamation (Montage's design).
   auto& to_free = pending_free_[(e - 2) % 4];
   for (void* p : to_free) {
+    checked::pb_release_block(alloc::PAllocator::header_of(p));
     pa_.free(p);
     stats_.blocks_reclaimed.fetch_add(1, std::memory_order_relaxed);
   }

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 
+#include "common/checked.hpp"
 #include "htm/engine.hpp"
 #include "nvm/device.hpp"
 
@@ -52,6 +54,15 @@ struct NontxAccess {
   void store_nvm(nvm::Device& dev, T* p, T v) {
     nontx_store(p, v);
     dev.mark_dirty(p, sizeof(T));
+    // Fallback-path durable store: same publish scan as the HTM commit
+    // write-back, for pointer-sized values.
+    if constexpr (sizeof(T) == sizeof(std::uint64_t)) {
+      if (checked::enabled()) {
+        std::uint64_t word;
+        std::memcpy(&word, &v, sizeof(word));
+        checked::pb_publish_value(word, "htm::NontxAccess::store_nvm");
+      }
+    }
   }
   [[noreturn]] void fail(std::uint8_t code) { throw FallbackRestart{code}; }
   static constexpr bool transactional() { return false; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/checked.hpp"
 #include "common/defs.hpp"
 #include "common/rng.hpp"
 #include "common/threading.hpp"
@@ -332,6 +333,13 @@ unsigned tx_commit(TxCtx& c) {
                      __ATOMIC_RELEASE);
     if (w.dev != nullptr) {
       w.dev->mark_dirty(reinterpret_cast<void*>(w.word_addr), 8);
+      // This word just became durable content. If it points into a
+      // still-virgin pNew block, endOp judges it (pTrack should run
+      // between commit and endOp — Listing 1); if it points into the
+      // stack, it traps immediately.
+      if (checked::enabled()) {
+        checked::pb_publish_value(w.value, "htm::Txn::store_nvm (commit)");
+      }
     }
   }
   for (auto* s : locked) {

@@ -19,6 +19,7 @@
 #include "alloc/pallocator.hpp"
 #include "common/checked.hpp"
 #include "epoch/epoch_sys.hpp"
+#include "htm/access.hpp"
 #include "htm/engine.hpp"
 #include "nvm/device.hpp"
 #include "obs/metrics.hpp"
@@ -102,6 +103,10 @@ TEST(CheckedProtocol, RuleNamesMatchTxlintDiagnostics) {
   EXPECT_STREQ(checked::rule_name(checked::Rule::kUnbalancedEpochOp),
                "unbalanced-epoch-op");
   EXPECT_STREQ(checked::rule_name(checked::Rule::kNoObsInTx), "no-obs-in-tx");
+  EXPECT_STREQ(checked::rule_name(checked::Rule::kPublishBeforePersist),
+               "publish-before-persist");
+  EXPECT_STREQ(checked::rule_name(checked::Rule::kEscapeUnpersistedStack),
+               "escape-unpersisted-stack");
 }
 
 TEST(CheckedProtocol, ReportWritesSchemaAndCounters) {
@@ -345,6 +350,91 @@ TEST(CheckedProtocol, NoObsOutsideTxIsClean) {
   h.record(7);
   obs::trace_instant(obs::TraceEventType::kSvcBatch, 1, 2);
   EXPECT_TRUE(cap.hits.empty());
+}
+
+// ---------------------------------------------------------------------------
+// publish-before-persist / escape-unpersisted-stack (the dynamic mirror
+// of txlint's persistence-ordering dataflow rules)
+
+TEST(CheckedProtocol, PublishBeforePersistTrapsUntrackedPublishAtEndOp) {
+  SKIP_UNLESS_CHECKED();
+  Capture cap;
+  Env env(tiny());
+  auto* slot =
+      reinterpret_cast<std::uint64_t*>(env.dev.base() + (8 << 10));
+  htm::NontxAccess na;
+
+  env.es->beginOp();
+  void* p = env.es->pNew(16);  // virgin: never pSet/pTrack'd
+  // Durably publish the pointer, then close the operation without ever
+  // capturing the block — a crash after the epoch persists the slot
+  // recovers a pointer to junk.
+  na.store_nvm(env.dev, slot, reinterpret_cast<std::uint64_t>(p));
+  env.es->endOp();
+
+  ASSERT_TRUE(cap.saw(checked::Rule::kPublishBeforePersist));
+  EXPECT_EQ(*cap.site_of(checked::Rule::kPublishBeforePersist),
+            "htm::NontxAccess::store_nvm");
+  env.es->beginOp();
+  env.es->pDelete(p);
+  env.es->endOp();
+}
+
+TEST(CheckedProtocol, PublishBeforePersistSilentWhenTracked) {
+  SKIP_UNLESS_CHECKED();
+  Capture cap;
+  Env env(tiny());
+  auto* slot =
+      reinterpret_cast<std::uint64_t*>(env.dev.base() + (8 << 10));
+  htm::NontxAccess na;
+
+  // The sanctioned shape: publish, then pTrack before endOp puts the
+  // block in the same epoch write-set as the pointer.
+  env.es->beginOp();
+  void* p = env.es->pNew(16);
+  const std::uint64_t v = 0x51;
+  env.es->pSet(p, &v, sizeof v);
+  na.store_nvm(env.dev, slot, reinterpret_cast<std::uint64_t>(p));
+  env.es->pTrack(p);
+  env.es->endOp();
+  EXPECT_TRUE(cap.hits.empty());
+}
+
+TEST(CheckedProtocol, PublishBeforePersistTrapsImmediatelyOutsideOp) {
+  SKIP_UNLESS_CHECKED();
+  Capture cap;
+  Env env(tiny());
+  auto* slot =
+      reinterpret_cast<std::uint64_t*>(env.dev.base() + (8 << 10));
+  htm::NontxAccess na;
+
+  void* p = env.es->pNew(16);  // legal: preallocation needs no op
+  // No operation envelope: no endOp (and no pTrack) is coming, so the
+  // checker does not wait for one.
+  na.store_nvm(env.dev, slot, reinterpret_cast<std::uint64_t>(p));
+  ASSERT_TRUE(cap.saw(checked::Rule::kPublishBeforePersist));
+  env.es->beginOp();
+  env.es->pDelete(p);
+  env.es->endOp();
+}
+
+TEST(CheckedProtocol, EscapeUnpersistedStackTrapsStackPointer) {
+  SKIP_UNLESS_CHECKED();
+#if !defined(__linux__)
+  GTEST_SKIP() << "stack-bounds probe needs pthread_getattr_np";
+#endif
+  Capture cap;
+  Env env(tiny());
+  auto* slot =
+      reinterpret_cast<std::uint64_t*>(env.dev.base() + (8 << 10));
+  htm::NontxAccess na;
+
+  std::uint64_t scratch = 7;
+  // txlint: allow(escape-unpersisted-stack) -- provoking the runtime trap
+  na.store_nvm(env.dev, slot, reinterpret_cast<std::uint64_t>(&scratch));
+  ASSERT_TRUE(cap.saw(checked::Rule::kEscapeUnpersistedStack));
+  EXPECT_EQ(*cap.site_of(checked::Rule::kEscapeUnpersistedStack),
+            "htm::NontxAccess::store_nvm");
 }
 
 // ---------------------------------------------------------------------------

@@ -4,11 +4,29 @@
 # works on minimal local toolchains and still hard-fails CI on real
 # findings.
 #
-# Usage: tools/lint.sh [build-dir]     (default: ./build)
+# Usage: tools/lint.sh [--fast] [--since <rev>] [build-dir]
+#   (default build-dir: ./build)
+#
+# --fast is the pre-commit path: pass-1 results for unchanged files come
+# from the symbol-table cache ($build/txlint-symtab-cache.json), only
+# files changed since <rev> (default HEAD) are re-lexed, and clang-tidy
+# is skipped. Pass 2 (whole-program propagation) always runs in full, so
+# an edit to a helper still re-checks its in-tx callers.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
-build="${1:-$root/build}"
+fast=0
+since="HEAD"
+build=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --fast) fast=1 ;;
+    --since) since="$2"; shift ;;
+    *) build="$1" ;;
+  esac
+  shift
+done
+build="${build:-$root/build}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 if [[ ! -x "$build/tools/txlint/txlint" ]]; then
@@ -16,13 +34,35 @@ if [[ ! -x "$build/tools/txlint/txlint" ]]; then
   cmake --build "$build" --target txlint -j"$jobs"
 fi
 
-echo "== txlint: corpus ground truth =="
-"$build/tools/txlint/txlint" --verify-expectations "$root/tools/txlint/corpus"
+txlint="$build/tools/txlint/txlint"
+scan_args=(
+  --baseline "$root/tools/txlint/baseline.json"
+  --relative-to "$root"
+  --exclude tools/txlint/corpus
+  "$root/src" "$root/tests" "$root/bench"
+  "$root/tools/ipc_client" "$root/examples"
+)
 
-echo "== txlint: full tree =="
-"$build/tools/txlint/txlint" --json "$build/txlint-report.json" \
-  "$root/src" "$root/tests" "$root/bench" "$root/examples"
-echo "report: $build/txlint-report.json"
+if [[ "$fast" == 1 ]]; then
+  echo "== txlint: incremental tree scan (--since $since) =="
+  "$txlint" --since "$since" \
+    --symtab-cache "$build/txlint-symtab-cache.json" \
+    --json "$build/txlint-report.json" \
+    "${scan_args[@]}"
+  echo "report: $build/txlint-report.json"
+  exit 0
+fi
+
+echo "== txlint: corpus ground truth =="
+"$txlint" --verify-expectations "$root/tools/txlint/corpus"
+
+echo "== txlint: full tree (baseline-gated) =="
+"$txlint" \
+  --json "$build/txlint-report.json" \
+  --sarif "$build/txlint-report.sarif" \
+  "${scan_args[@]}"
+"$txlint" --validate-sarif "$build/txlint-report.sarif"
+echo "reports: $build/txlint-report.json, $build/txlint-report.sarif"
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy ($(clang-tidy --version | head -n1)) =="

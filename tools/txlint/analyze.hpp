@@ -1,0 +1,42 @@
+// txlint v2 analysis (DESIGN.md §9).
+//
+// Pass 1 (analyze_file): lex one file and extract a FileModel — lexical
+// findings that need no cross-function knowledge, plus the symbol table
+// (function/lambda definitions, protocol-operation events, call sites,
+// stripe acquisitions) pass 2 works on.
+//
+// Pass 2 (Program): merge the FileModels of every scanned file, resolve
+// call sites to definitions by name (overload sets conservatively), and
+// propagate transaction context transitively — a function reachable from
+// any elide lambda, Txn/Acc body, or tx_begin region inherits in-tx
+// context, so every context-dependent rule fires through arbitrary
+// helper chains, each finding carrying the full call path. The same
+// fixpoint threads held-stripe maxima along call chains for the
+// interprocedural fallback-stripe-order check.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace txlint {
+
+/// Pass 1 over one file's contents. `path` is recorded verbatim in the
+/// model (relativize before calling for stable reports).
+FileModel analyze_file(const std::string& path, const std::string& src);
+
+class Program {
+ public:
+  void add(FileModel fm) { files_.push_back(std::move(fm)); }
+  const std::vector<FileModel>& files() const { return files_; }
+
+  /// Run pass 2 and return every finding (direct + propagated), sorted
+  /// by file, line, rule. Suppressions are already applied (flag set).
+  std::vector<Finding> run();
+
+ private:
+  std::vector<FileModel> files_;
+};
+
+}  // namespace txlint

@@ -1,0 +1,262 @@
+#include "cache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "json_mini.hpp"
+#include "sarif.hpp"  // json_escape
+
+namespace txlint {
+namespace {
+
+constexpr const char* kSchema = "bdhtm-txlint-symtab/1";
+
+void emit_finding(std::ostream& os, const Finding& f) {
+  os << "{\"rule\": \"" << rule_name(f.rule) << "\", \"file\": \""
+     << json_escape(f.file) << "\", \"line\": " << f.line
+     << ", \"suppressed\": " << (f.suppressed ? "true" : "false")
+     << ", \"message\": \"" << json_escape(f.message) << "\", \"path\": [";
+  for (size_t k = 0; k < f.path.size(); ++k) {
+    const Frame& fr = f.path[k];
+    os << (k > 0 ? ", " : "") << "{\"file\": \"" << json_escape(fr.file)
+       << "\", \"line\": " << fr.line << ", \"what\": \""
+       << json_escape(fr.what) << "\"}";
+  }
+  os << "]}";
+}
+
+bool parse_finding(const json::Value* v, Finding* out) {
+  const json::Value* rule = v->get("rule");
+  const json::Value* file = v->get("file");
+  const json::Value* line = v->get("line");
+  const json::Value* msg = v->get("message");
+  if (rule == nullptr || file == nullptr || line == nullptr ||
+      msg == nullptr || !rule_from_name(rule->str(), &out->rule)) {
+    return false;
+  }
+  out->file = file->str();
+  out->line = static_cast<int>(line->as_int());
+  out->message = msg->str();
+  const json::Value* sup = v->get("suppressed");
+  out->suppressed = sup != nullptr && sup->b;
+  const json::Value* path = v->get("path");
+  if (path != nullptr && path->is_array()) {
+    for (const auto& fp : path->arr) {
+      const json::Value* ff = fp->get("file");
+      const json::Value* fl = fp->get("line");
+      const json::Value* fw = fp->get("what");
+      if (ff == nullptr || fl == nullptr || fw == nullptr) return false;
+      out->path.push_back(
+          {ff->str(), static_cast<int>(fl->as_int()), fw->str()});
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool save_symtab_cache(const std::string& path,
+                       const std::vector<FileModel>& files) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "{\n  \"schema\": \"" << kSchema << "\",\n  \"files\": [\n";
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    const FileModel& fm = files[fi];
+    os << "    {\"path\": \"" << json_escape(fm.path)
+       << "\", \"size\": " << fm.size << ", \"mtime_ns\": " << fm.mtime_ns
+       << ",\n     \"ipc_client_scope\": "
+       << (fm.ipc_client_scope ? "true" : "false")
+       << ",\n     \"includes\": [";
+    for (size_t k = 0; k < fm.includes.size(); ++k) {
+      os << (k > 0 ? ", " : "") << "\"" << json_escape(fm.includes[k])
+         << "\"";
+    }
+    os << "],\n     \"allow\": {";
+    bool first = true;
+    for (const auto& [line, rules] : fm.allow) {
+      os << (first ? "" : ", ") << "\"" << line << "\": [";
+      first = false;
+      bool f2 = true;
+      for (int r : rules) {
+        os << (f2 ? "" : ", ") << r;
+        f2 = false;
+      }
+      os << "]";
+    }
+    os << "},\n     \"direct\": [";
+    for (size_t k = 0; k < fm.direct.size(); ++k) {
+      os << (k > 0 ? ",\n                " : "");
+      emit_finding(os, fm.direct[k]);
+    }
+    os << "],\n     \"defs\": [";
+    for (size_t di = 0; di < fm.defs.size(); ++di) {
+      const FuncDef& d = fm.defs[di];
+      os << (di > 0 ? ",\n              " : "") << "{\"name\": \""
+         << json_escape(d.name) << "\", \"line\": " << d.line
+         << ", \"tx_root\": " << (d.tx_root ? "true" : "false")
+         << ", \"is_lambda\": " << (d.is_lambda ? "true" : "false")
+         << ", \"starts_tx\": " << (d.starts_tx ? "true" : "false")
+         << ", \"events\": [";
+      for (size_t k = 0; k < d.events.size(); ++k) {
+        const CtxEvent& e = d.events[k];
+        os << (k > 0 ? ", " : "") << "{\"rule\": \"" << rule_name(e.rule)
+           << "\", \"line\": " << e.line << ", \"message\": \""
+           << json_escape(e.message) << "\"}";
+      }
+      os << "], \"calls\": [";
+      for (size_t k = 0; k < d.calls.size(); ++k) {
+        const CallSite& c = d.calls[k];
+        os << (k > 0 ? ", " : "") << "{\"callee\": \""
+           << json_escape(c.callee) << "\", \"line\": " << c.line
+           << ", \"in_tx\": " << (c.lexically_in_tx ? "true" : "false")
+           << ", \"held\": " << c.max_stripe_held << "}";
+      }
+      os << "], \"stripes\": [";
+      for (size_t k = 0; k < d.stripe_acqs.size(); ++k) {
+        const StripeAcq& a = d.stripe_acqs[k];
+        os << (k > 0 ? ", " : "") << "{\"index\": " << a.index
+           << ", \"line\": " << a.line
+           << ", \"held_before\": " << a.max_held_before << "}";
+      }
+      os << "]}";
+    }
+    os << "]}" << (fi + 1 < files.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return static_cast<bool>(os);
+}
+
+std::map<std::string, FileModel> load_symtab_cache(const std::string& path) {
+  std::map<std::string, FileModel> out;
+  std::ifstream is(path);
+  if (!is) return out;
+  std::stringstream buf;
+  buf << is.rdbuf();
+  json::ValuePtr root = json::parse(buf.str());
+  if (root == nullptr || !root->is_object()) return out;
+  const json::Value* schema = root->get("schema");
+  if (schema == nullptr || schema->str() != kSchema) return out;
+  const json::Value* files = root->get("files");
+  if (files == nullptr || !files->is_array()) return out;
+
+  for (const auto& fp : files->arr) {
+    const json::Value* fv = fp.get();
+    if (!fv->is_object()) continue;
+    const json::Value* p = fv->get("path");
+    const json::Value* size = fv->get("size");
+    const json::Value* mtime = fv->get("mtime_ns");
+    if (p == nullptr || size == nullptr || mtime == nullptr) continue;
+    FileModel fm;
+    fm.path = p->str();
+    fm.size = size->as_u64();
+    fm.mtime_ns = mtime->as_u64();
+    const json::Value* scope = fv->get("ipc_client_scope");
+    fm.ipc_client_scope = scope != nullptr && scope->b;
+    if (const json::Value* incs = fv->get("includes");
+        incs != nullptr && incs->is_array()) {
+      for (const auto& ip : incs->arr) fm.includes.push_back(ip->str());
+    }
+    if (const json::Value* allow = fv->get("allow");
+        allow != nullptr && allow->is_object()) {
+      for (const auto& [line_str, rules] : allow->obj) {
+        const int line = std::atoi(line_str.c_str());
+        for (const auto& rp : rules->arr) {
+          fm.allow[line].insert(static_cast<int>(rp->as_int()));
+        }
+      }
+    }
+    bool ok = true;
+    if (const json::Value* direct = fv->get("direct");
+        direct != nullptr && direct->is_array()) {
+      for (const auto& dfp : direct->arr) {
+        Finding f;
+        if (!parse_finding(dfp.get(), &f)) {
+          ok = false;
+          break;
+        }
+        fm.direct.push_back(std::move(f));
+      }
+    }
+    if (const json::Value* defs = fv->get("defs");
+        ok && defs != nullptr && defs->is_array()) {
+      for (const auto& dp : defs->arr) {
+        const json::Value* dv = dp.get();
+        const json::Value* name = dv->get("name");
+        const json::Value* line = dv->get("line");
+        if (name == nullptr || line == nullptr) {
+          ok = false;
+          break;
+        }
+        FuncDef d;
+        d.name = name->str();
+        d.file = fm.path;
+        d.line = static_cast<int>(line->as_int());
+        const json::Value* txr = dv->get("tx_root");
+        d.tx_root = txr != nullptr && txr->b;
+        const json::Value* lam = dv->get("is_lambda");
+        d.is_lambda = lam != nullptr && lam->b;
+        const json::Value* stx = dv->get("starts_tx");
+        d.starts_tx = stx != nullptr && stx->b;
+        if (const json::Value* events = dv->get("events");
+            events != nullptr && events->is_array()) {
+          for (const auto& ep : events->arr) {
+            CtxEvent e;
+            const json::Value* rule = ep->get("rule");
+            const json::Value* eline = ep->get("line");
+            const json::Value* msg = ep->get("message");
+            if (rule == nullptr || eline == nullptr || msg == nullptr ||
+                !rule_from_name(rule->str(), &e.rule)) {
+              ok = false;
+              break;
+            }
+            e.line = static_cast<int>(eline->as_int());
+            e.message = msg->str();
+            d.events.push_back(std::move(e));
+          }
+        }
+        if (const json::Value* calls = dv->get("calls");
+            calls != nullptr && calls->is_array()) {
+          for (const auto& cp : calls->arr) {
+            const json::Value* callee = cp->get("callee");
+            const json::Value* cline = cp->get("line");
+            if (callee == nullptr || cline == nullptr) {
+              ok = false;
+              break;
+            }
+            CallSite c;
+            c.callee = callee->str();
+            c.line = static_cast<int>(cline->as_int());
+            const json::Value* intx = cp->get("in_tx");
+            c.lexically_in_tx = intx != nullptr && intx->b;
+            const json::Value* held = cp->get("held");
+            c.max_stripe_held =
+                held != nullptr ? static_cast<int>(held->as_int()) : -1;
+            d.calls.push_back(std::move(c));
+          }
+        }
+        if (const json::Value* stripes = dv->get("stripes");
+            stripes != nullptr && stripes->is_array()) {
+          for (const auto& sp : stripes->arr) {
+            const json::Value* idx = sp->get("index");
+            const json::Value* sline = sp->get("line");
+            const json::Value* held = sp->get("held_before");
+            if (idx == nullptr || sline == nullptr) {
+              ok = false;
+              break;
+            }
+            d.stripe_acqs.push_back(
+                {static_cast<int>(idx->as_int()),
+                 static_cast<int>(sline->as_int()),
+                 held != nullptr ? static_cast<int>(held->as_int()) : -1});
+          }
+        }
+        if (!ok) break;
+        fm.defs.push_back(std::move(d));
+      }
+    }
+    if (ok) out.emplace(fm.path, std::move(fm));
+  }
+  return out;
+}
+
+}  // namespace txlint

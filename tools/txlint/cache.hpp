@@ -1,0 +1,31 @@
+// Symbol-table cache for --since incremental runs.
+//
+// A whole-program pass-2 needs every file's FileModel even when only a
+// handful changed. The cache (schema bdhtm-txlint-symtab/1) persists
+// pass-1 output per file keyed by (size, mtime_ns); on the next run,
+// files whose stat matches are loaded instead of re-lexed, and only the
+// changed set (e.g. `git diff --name-only <rev>`) pays pass-1 cost.
+// Pass 2 always runs over the full merged program — context propagation
+// is global, so an unchanged helper still re-resolves against a changed
+// caller.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace txlint {
+
+/// Persist pass-1 models. Returns false on I/O failure.
+bool save_symtab_cache(const std::string& path,
+                       const std::vector<FileModel>& files);
+
+/// Load a cache written by save_symtab_cache. Entries are keyed by the
+/// scanned path; the caller revalidates (size, mtime_ns) against stat
+/// before trusting one. Returns empty map when missing/corrupt/wrong
+/// schema (never an error — cold cache is just a full run).
+std::map<std::string, FileModel> load_symtab_cache(const std::string& path);
+
+}  // namespace txlint

@@ -1,0 +1,21 @@
+// Known-bad, interprocedural at depth 3: tx body -> reserve_node ->
+// grab_chunk -> malloc. Allocator metadata writes are not transactional
+// (paper Table 2) — preallocation must happen before tx_begin no matter
+// how many helpers deep the allocation hides.
+// txlint-expect: alloc-in-tx
+
+static void* grab_chunk(std::size_t n) {
+  return std::malloc(n);  // BUG when reached from a transaction body
+}
+
+static void* reserve_node(std::size_t n) {
+  return grab_chunk(n);
+}
+
+void insert(htm::ElidedLock& lock, std::uint64_t* slot) {
+  htm::run([&](htm::Txn& tx) {
+    lock.subscribe(tx);
+    void* node = reserve_node(64);
+    tx.store(slot, reinterpret_cast<std::uint64_t>(node));
+  });
+}

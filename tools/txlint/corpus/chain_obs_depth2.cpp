@@ -1,0 +1,17 @@
+// Known-bad, interprocedural: an observability sample taken by a helper
+// reached from the transaction body. The histogram store is speculative
+// — an aborted transaction has already emitted the event — and the
+// clock read can abort real HTM (DESIGN.md §8).
+// txlint-expect: no-obs-in-tx
+
+static void sample_latency(obs::Histogram& h, std::uint64_t t0) {
+  h.record(obs::now_ns() - t0);  // BUG when reached from a tx body
+}
+
+void op(htm::ElidedLock& lock, obs::Histogram& h, std::uint64_t* p) {
+  htm::run([&](htm::Txn& tx) {
+    lock.subscribe(tx);
+    tx.store(p, 1u);
+    sample_latency(h, 0u);  // context flows into the helper here
+  });
+}

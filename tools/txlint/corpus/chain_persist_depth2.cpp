@@ -1,0 +1,18 @@
+// Known-bad, interprocedural: the persist hides one call deep. The tx
+// body calls an innocent-looking helper whose body flushes a line; v1's
+// lexical scan only saw the helper outside any tx region and stayed
+// silent. The whole-program pass propagates transaction context over
+// the call graph, so the clwb is reported with the full call path.
+// txlint-expect: persist-in-tx
+
+static void write_back_line(nvm::Device& dev, std::uint64_t* p) {
+  dev.clwb(p);  // BUG when reached from a transaction body
+}
+
+void update(nvm::Device& dev, htm::ElidedLock& lock, std::uint64_t* p) {
+  htm::run([&](htm::Txn& tx) {
+    lock.subscribe(tx);
+    tx.store(p, 42u);
+    write_back_line(dev, p);  // context flows into the helper here
+  });
+}

@@ -1,0 +1,22 @@
+// Known-bad, interprocedural: durable reclamation buried in a helper
+// called from the transaction body. pRetire is ordered strictly after
+// commit — issued speculatively it can retire a block the transaction
+// then fails to unlink.
+// txlint-expect: retire-before-commit
+
+static void unlink_and_retire(epoch::EpochSys& es, Node* victim,
+                              std::uint64_t e) {
+  es.pRetire(victim, e);  // BUG when reached from a transaction body
+}
+
+bool remove(htm::ElidedLock& lock, epoch::EpochSys& es, Map& m, Key k,
+            std::uint64_t e) {
+  return htm::run([&](htm::Txn& tx) {
+    lock.subscribe(tx);
+    Node* victim = m.lookup(tx, k);
+    if (victim == nullptr) return false;
+    m.unlink(tx, k);
+    unlink_and_retire(es, victim, e);  // context flows in here
+    return true;
+  });
+}

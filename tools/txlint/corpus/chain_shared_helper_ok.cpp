@@ -1,0 +1,23 @@
+// Negative control for context propagation: a pure helper shared by tx
+// and non-tx callers must not fire anything, and a helper with protocol
+// operations that is only ever called OUTSIDE transactions must stay
+// silent too — reachability matters, not mere coexistence in the file.
+// txlint-expect: none
+
+static std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  return a * 0x9e3779b97f4a7c15ull + b;  // pure: fine in both contexts
+}
+
+static void flush_after_commit(nvm::Device& dev, std::uint64_t* p) {
+  dev.clwb(p);  // only reached outside transactions — not a finding
+  dev.drain();
+}
+
+void op(nvm::Device& dev, htm::ElidedLock& lock, std::uint64_t* p) {
+  htm::run([&](htm::Txn& tx) {
+    lock.subscribe(tx);
+    tx.store(p, mix(tx.load(p), 1u));  // shared helper used in-tx
+  });
+  flush_after_commit(dev, p);  // and the persist helper strictly after
+  (void)mix(7u, 9u);           // shared helper used outside too
+}

@@ -1,0 +1,17 @@
+// Known-bad, interprocedural stripe inversion: each function is locally
+// well-ordered, but the caller holds stripe 5 when the callee acquires
+// stripe 1 — the same two-lock deadlock cycle as the local case, split
+// across a call edge. Pass 2 threads held-stripe maxima along the call
+// graph to catch it.
+// txlint-expect: fallback-stripe-order
+
+static void lock_low_stripe(htm::FallbackPolicy& pol) {
+  pol.acquire_stripe(1);  // BUG: a caller already holds stripe 5
+  pol.release_stripe(1);
+}
+
+void slow_path(htm::FallbackPolicy& pol) {
+  pol.acquire_stripe(5);
+  lock_low_stripe(pol);  // held-stripe state flows into the callee
+  pol.release_stripe(5);
+}

@@ -1,0 +1,11 @@
+// Known-bad: the address of a stack object becomes a durable value.
+// store_nvm writes its value into NVM-resident memory; a pointer to a
+// local dangles into a dead stack after crash recovery (and after the
+// function returns, even without a crash).
+// txlint-expect: escape-unpersisted-stack
+
+void save_cursor(nvm::Device& dev, acc::NontxAccess& na,
+                 std::uint64_t** slot) {
+  std::uint64_t scratch = 7u;
+  na.store_nvm(dev, slot, &scratch);  // BUG: stack address into NVM
+}

@@ -1,0 +1,14 @@
+// Negative control for escape-unpersisted-stack: `&local->field` is the
+// address of the *pointee's* field — NVM-resident when the local points
+// at a pNew'd block — and a plain value store of a local is a copy, not
+// an escape. Both must stay silent.
+// txlint-expect: none
+
+void stamp_epoch(nvm::Device& dev, acc::NontxAccess& na,
+                 epoch::EpochSys& es, std::uint64_t e) {
+  BlockHeader* hdr = es.pNew<BlockHeader>(e);
+  na.store_nvm(dev, &hdr->create_epoch, e);  // pointee field: NVM, fine
+  std::uint64_t seq = 9u;
+  na.store_nvm(dev, &hdr->sequence, seq);    // value copy of the local
+  es.pTrack(hdr, e);
+}

@@ -1,0 +1,13 @@
+// Known-bad: a pNew'd block is linked reachable from a persistent root
+// before any of its lines entered the epoch write-set. After a crash
+// the root's pointer is durable but the payload was never captured —
+// recovery follows it into garbage. The capture (pSet/pTrack, or a
+// transactional store that commits) must precede the publish.
+// txlint-expect: publish-before-persist
+
+void attach(epoch::EpochSys& es, Root& root, std::uint64_t e) {
+  Node* nb = es.pNew<Node>(e);
+  nb->value = 42u;     // raw initialization: not a write-set capture
+  root.head = nb;      // BUG: durable pointer to an unpersisted block
+  es.pTrack(nb, e);    // too late — the publish already happened
+}

@@ -1,0 +1,31 @@
+// The two sanctioned publish orders, both silent. (1) Capture first:
+// pSet writes the payload into the epoch write-set, then the pointer
+// may be stored anywhere. (2) Publish inside the transaction: the
+// commit captures the link and the post-commit pTrack captures the
+// payload before endOp closes the envelope (Listing 1).
+// txlint-expect: none
+
+void attach_captured(epoch::EpochSys& es, Root& root, std::uint64_t e,
+                     std::uint64_t v) {
+  Node* nb = es.pNew<Node>(e);
+  es.pSet(nb, &v, sizeof(v));  // capture the payload first...
+  root.head = nb;              // ...then the publish is safe
+}
+
+bool attach_tx(htm::ElidedLock& lock, epoch::EpochSys& es, Map& m, Key k,
+               std::uint64_t v) {
+  Node* nb = es.pNew<Node>(v);
+  const auto e = es.beginOp();
+  bool ok = htm::run([&](htm::Txn& tx) {
+    lock.subscribe(tx);
+    return m.link(tx, k, nb, e);  // transactional publish: captured
+  });
+  if (!ok) {
+    es.pDelete(nb, e);
+    es.abortOp();
+    return false;
+  }
+  es.pTrack(nb, e);
+  es.endOp();
+  return true;
+}

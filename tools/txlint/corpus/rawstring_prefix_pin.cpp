@@ -1,0 +1,18 @@
+// Lexer regression pin: encoding-prefixed raw strings (LR"...", u8R"...")
+// and delimited raw strings must collapse to a single token. The v1
+// lexer only special-cased a bare `R"` prefix — `LR"(say "hi { there)"`
+// fell through to identifier + ordinary-string lexing, the odd quote
+// count swallowed the code after it, and the clwb below went undetected.
+// txlint-expect: persist-in-tx
+
+static const wchar_t* kBanner = LR"(say "hi { there)";
+static const char* kJson = u8R"x({"depth": [1, {2: )"}]})x";
+static const char* kBrace = R"{_}(unbalanced } and " quote){_}";
+
+void update(nvm::Device& dev, htm::ElidedLock& lock, std::uint64_t* p) {
+  htm::run([&](htm::Txn& tx) {
+    lock.subscribe(tx);
+    tx.store(p, 42u);
+    dev.clwb(p);  // must be seen despite the raw strings above
+  });
+}

@@ -1,0 +1,336 @@
+#include "sarif.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "json_mini.hpp"
+
+namespace txlint {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void emit_location(std::ostream& os, const std::string& file, int line,
+                   const char* indent) {
+  os << indent << "\"physicalLocation\": {\n"
+     << indent << "  \"artifactLocation\": {\"uri\": \"" << json_escape(file)
+     << "\", \"uriBaseId\": \"SRCROOT\"},\n"
+     << indent << "  \"region\": {\"startLine\": " << (line > 0 ? line : 1)
+     << "}\n"
+     << indent << "}";
+}
+
+}  // namespace
+
+bool write_sarif(const std::string& path,
+                 const std::vector<Finding>& findings) {
+  std::ofstream os(path);
+  if (!os) return false;
+
+  os << "{\n"
+     << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"txlint\",\n"
+     << "          \"version\": \"2.0.0\",\n"
+     << "          \"informationUri\": "
+        "\"https://example.invalid/bdhtm/txlint\",\n"
+     << "          \"rules\": [\n";
+  for (int r = 0; r < kNumRules; ++r) {
+    os << "            {\n"
+       << "              \"id\": \"" << rule_name(static_cast<Rule>(r))
+       << "\",\n"
+       << "              \"shortDescription\": {\"text\": \""
+       << json_escape(rule_name(static_cast<Rule>(r))) << "\"},\n"
+       << "              \"fullDescription\": {\"text\": \""
+       << json_escape(rule_description(static_cast<Rule>(r))) << "\"},\n"
+       << "              \"defaultConfiguration\": {\"level\": \"error\"}\n"
+       << "            }" << (r + 1 < kNumRules ? "," : "") << "\n";
+  }
+  os << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"columnKind\": \"utf16CodeUnits\",\n"
+     << "      \"results\": [\n";
+
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "        {\n"
+       << "          \"ruleId\": \"" << rule_name(f.rule) << "\",\n"
+       << "          \"ruleIndex\": " << static_cast<int>(f.rule) << ",\n"
+       << "          \"level\": \"" << (f.suppressed ? "note" : "error")
+       << "\",\n"
+       << "          \"message\": {\"text\": \"" << json_escape(f.message)
+       << "\"},\n";
+    if (f.suppressed) {
+      os << "          \"suppressions\": [{\"kind\": \"inSource\"}],\n";
+    }
+    os << "          \"locations\": [\n"
+       << "            {\n";
+    emit_location(os, f.file, f.line, "              ");
+    os << "\n            }\n"
+       << "          ],\n"
+       << "          \"codeFlows\": [\n"
+       << "            {\n"
+       << "              \"threadFlows\": [\n"
+       << "                {\n"
+       << "                  \"locations\": [\n";
+    // Findings always carry at least one frame (the violation itself);
+    // propagated findings replay origin -> call chain -> violation.
+    const std::vector<Frame>& frames =
+        f.path.empty() ? std::vector<Frame>{{f.file, f.line, f.message}}
+                       : f.path;
+    for (size_t k = 0; k < frames.size(); ++k) {
+      const Frame& fr = frames[k];
+      os << "                    {\n"
+         << "                      \"location\": {\n"
+         << "                        \"message\": {\"text\": \""
+         << json_escape(fr.what) << "\"},\n";
+      emit_location(os, fr.file, fr.line, "                        ");
+      os << "\n                      }\n"
+         << "                    }" << (k + 1 < frames.size() ? "," : "")
+         << "\n";
+    }
+    os << "                  ]\n"
+       << "                }\n"
+       << "              ]\n"
+       << "            }\n"
+       << "          ]\n"
+       << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+
+  os << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return static_cast<bool>(os);
+}
+
+bool write_json_report(const std::string& path,
+                       const std::vector<Finding>& findings,
+                       int files_scanned, int suppressed_count) {
+  std::ofstream os(path);
+  if (!os) return false;
+  int active = 0;
+  for (const Finding& f : findings) {
+    if (!f.suppressed) ++active;
+  }
+  os << "{\n"
+     << "  \"schema\": \"bdhtm-txlint/2\",\n"
+     << "  \"files_scanned\": " << files_scanned << ",\n"
+     << "  \"findings\": " << active << ",\n"
+     << "  \"suppressed\": " << suppressed_count << ",\n"
+     << "  \"results\": [\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "    {\"rule\": \"" << rule_name(f.rule) << "\", \"file\": \""
+       << json_escape(f.file) << "\", \"line\": " << f.line
+       << ", \"suppressed\": " << (f.suppressed ? "true" : "false")
+       << ", \"message\": \"" << json_escape(f.message) << "\",\n"
+       << "     \"path\": [";
+    for (size_t k = 0; k < f.path.size(); ++k) {
+      const Frame& fr = f.path[k];
+      os << (k > 0 ? ", " : "") << "{\"file\": \"" << json_escape(fr.file)
+         << "\", \"line\": " << fr.line << ", \"what\": \""
+         << json_escape(fr.what) << "\"}";
+    }
+    os << "]}" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return static_cast<bool>(os);
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+
+namespace {
+
+void check(bool ok, const std::string& what, std::vector<std::string>* out) {
+  if (!ok) out->push_back(what);
+}
+
+const json::Value* get_path(const json::Value* v,
+                            std::initializer_list<const char*> keys) {
+  for (const char* k : keys) {
+    if (v == nullptr || !v->is_object()) return nullptr;
+    v = v->get(k);
+  }
+  return v;
+}
+
+bool nonempty_text(const json::Value* v) {
+  const json::Value* t = get_path(v, {"text"});
+  return t != nullptr && t->is_string() && !t->str().empty();
+}
+
+}  // namespace
+
+std::vector<std::string> validate_sarif_file(const std::string& path) {
+  std::vector<std::string> problems;
+  std::ifstream is(path);
+  if (!is) {
+    problems.push_back("cannot open " + path);
+    return problems;
+  }
+  std::stringstream buf;
+  buf << is.rdbuf();
+  std::string err;
+  json::ValuePtr root = json::parse(buf.str(), &err);
+  if (root == nullptr) {
+    problems.push_back("JSON parse error: " + err);
+    return problems;
+  }
+  check(root->is_object(), "document is not an object", &problems);
+  const json::Value* version = root->get("version");
+  check(version != nullptr && version->is_string() &&
+            version->str() == "2.1.0",
+        "version is not \"2.1.0\"", &problems);
+  const json::Value* schema = root->get("$schema");
+  check(schema != nullptr && schema->is_string() &&
+            schema->str().find("sarif-2.1.0") != std::string::npos,
+        "$schema does not reference sarif-2.1.0", &problems);
+
+  const json::Value* runs = root->get("runs");
+  if (runs == nullptr || !runs->is_array() || runs->arr.empty()) {
+    problems.push_back("runs missing or empty");
+    return problems;
+  }
+  for (const auto& runp : runs->arr) {
+    const json::Value* run = runp.get();
+    const json::Value* driver = get_path(run, {"tool", "driver"});
+    if (driver == nullptr) {
+      problems.push_back("run.tool.driver missing");
+      continue;
+    }
+    const json::Value* name = driver->get("name");
+    check(name != nullptr && name->is_string() && !name->str().empty(),
+          "tool.driver.name missing/empty", &problems);
+
+    // Rule metadata: id unique + descriptions present.
+    std::vector<std::string> rule_ids;
+    const json::Value* rules = driver->get("rules");
+    if (rules != nullptr && rules->is_array()) {
+      for (const auto& rp : rules->arr) {
+        const json::Value* id = rp->get("id");
+        if (id == nullptr || !id->is_string() || id->str().empty()) {
+          problems.push_back("rule with missing id");
+          continue;
+        }
+        for (const auto& seen : rule_ids) {
+          check(seen != id->str(), "duplicate rule id " + id->str(),
+                &problems);
+        }
+        rule_ids.push_back(id->str());
+        check(nonempty_text(rp->get("shortDescription")),
+              "rule " + id->str() + ": shortDescription.text missing",
+              &problems);
+        check(nonempty_text(rp->get("fullDescription")),
+              "rule " + id->str() + ": fullDescription.text missing",
+              &problems);
+      }
+    } else {
+      problems.push_back("tool.driver.rules missing");
+    }
+
+    const json::Value* results = run->get("results");
+    if (results == nullptr || !results->is_array()) {
+      problems.push_back("run.results missing (must be [] when clean)");
+      continue;
+    }
+    int ri = 0;
+    for (const auto& resp : results->arr) {
+      const std::string tag = "result[" + std::to_string(ri++) + "]";
+      const json::Value* res = resp.get();
+      const json::Value* rule_id = res->get("ruleId");
+      if (rule_id == nullptr || !rule_id->is_string()) {
+        problems.push_back(tag + ": ruleId missing");
+        continue;
+      }
+      bool known = false;
+      for (const auto& id : rule_ids) known |= id == rule_id->str();
+      check(known, tag + ": ruleId '" + rule_id->str() +
+                       "' not declared in tool.driver.rules",
+            &problems);
+      const json::Value* rule_index = res->get("ruleIndex");
+      check(rule_index != nullptr && rule_index->is_number() &&
+                rule_index->as_int() >= 0 &&
+                rule_index->as_int() <
+                    static_cast<std::int64_t>(rule_ids.size()) &&
+                rule_ids[static_cast<size_t>(rule_index->as_int())] ==
+                    rule_id->str(),
+            tag + ": ruleIndex does not match ruleId", &problems);
+      check(nonempty_text(res->get("message")),
+            tag + ": message.text missing/empty", &problems);
+
+      const json::Value* locs = res->get("locations");
+      if (locs == nullptr || !locs->is_array() || locs->arr.empty()) {
+        problems.push_back(tag + ": locations missing/empty");
+      } else {
+        const json::Value* uri = get_path(
+            locs->arr[0].get(), {"physicalLocation", "artifactLocation"});
+        const json::Value* u = uri ? uri->get("uri") : nullptr;
+        check(u != nullptr && u->is_string() && !u->str().empty(),
+              tag + ": artifactLocation.uri missing", &problems);
+        const json::Value* sl = get_path(
+            locs->arr[0].get(), {"physicalLocation", "region", "startLine"});
+        check(sl != nullptr && sl->is_number() && sl->as_int() >= 1,
+              tag + ": region.startLine missing or < 1", &problems);
+      }
+
+      // txlint guarantees a call-path code flow on every result.
+      const json::Value* flows = res->get("codeFlows");
+      if (flows == nullptr || !flows->is_array() || flows->arr.empty()) {
+        problems.push_back(tag + ": codeFlows missing/empty");
+        continue;
+      }
+      const json::Value* tflows = flows->arr[0]->get("threadFlows");
+      if (tflows == nullptr || !tflows->is_array() || tflows->arr.empty()) {
+        problems.push_back(tag + ": threadFlows missing/empty");
+        continue;
+      }
+      const json::Value* tlocs = tflows->arr[0]->get("locations");
+      if (tlocs == nullptr || !tlocs->is_array() || tlocs->arr.empty()) {
+        problems.push_back(tag + ": threadFlow.locations empty");
+        continue;
+      }
+      for (const auto& tlp : tlocs->arr) {
+        const json::Value* loc = tlp->get("location");
+        check(loc != nullptr && nonempty_text(loc->get("message")),
+              tag + ": threadFlow location without message.text", &problems);
+        check(get_path(loc, {"physicalLocation", "artifactLocation"}) !=
+                  nullptr,
+              tag + ": threadFlow location without physicalLocation",
+              &problems);
+      }
+    }
+  }
+  return problems;
+}
+
+}  // namespace txlint

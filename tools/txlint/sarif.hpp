@@ -1,0 +1,40 @@
+// SARIF 2.1.0 emission + structural validation for txlint findings.
+//
+// The emitter writes one run with full rule metadata (id, short/full
+// description, default level) and one result per finding; every result
+// carries a codeFlow whose single threadFlow replays the propagated
+// call path (context origin -> ... -> violating operation), so SARIF
+// viewers show the interprocedural chain, not just the sink line.
+//
+// The validator checks the structural subset txlint emits against the
+// SARIF 2.1.0 schema's requirements (run from ctest; no network, no
+// external schema tooling).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace txlint {
+
+/// JSON string escaping shared by the SARIF and report writers.
+std::string json_escape(const std::string& s);
+
+/// Write findings as SARIF 2.1.0. Suppressed findings are included with
+/// a SARIF `suppressions: [{kind: inSource}]` marker so viewers can
+/// distinguish them. Returns false on I/O failure.
+bool write_sarif(const std::string& path,
+                 const std::vector<Finding>& findings);
+
+/// Write the native JSON report (schema bdhtm-txlint/2): per-finding
+/// rule/file/line/message/suppressed plus the call path.
+bool write_json_report(const std::string& path,
+                       const std::vector<Finding>& findings,
+                       int files_scanned, int suppressed_count);
+
+/// Structurally validate a SARIF file against the 2.1.0 subset txlint
+/// emits. Returns a list of problems; empty means valid.
+std::vector<std::string> validate_sarif_file(const std::string& path);
+
+}  // namespace txlint

@@ -1,0 +1,49 @@
+# ctest script: --since/--symtab-cache incremental mode.
+#
+# A cold run over src/common populates the cache; a warm run with
+# --since HEAD must (a) report cache reuse and (b) produce a
+# byte-identical JSON report. Usage:
+#   cmake -DTXLINT=... -DSRC_ROOT=... -DWORK_DIR=... -P test_incremental.cmake
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(SCAN_ARGS
+    --relative-to "${SRC_ROOT}"
+    --symtab-cache "${WORK_DIR}/symtab-cache.json"
+    --exit-zero
+    "${SRC_ROOT}/src/common"
+    "${SRC_ROOT}/src/epoch")
+
+execute_process(
+  COMMAND "${TXLINT}" --json "${WORK_DIR}/cold.json" ${SCAN_ARGS}
+  WORKING_DIRECTORY "${SRC_ROOT}"
+  RESULT_VARIABLE cold_rc
+  ERROR_VARIABLE cold_err)
+if(NOT cold_rc EQUAL 0)
+  message(FATAL_ERROR "cold txlint run failed (${cold_rc}): ${cold_err}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/symtab-cache.json")
+  message(FATAL_ERROR "cold run did not write the symtab cache")
+endif()
+
+execute_process(
+  COMMAND "${TXLINT}" --json "${WORK_DIR}/warm.json" --since HEAD
+          ${SCAN_ARGS}
+  WORKING_DIRECTORY "${SRC_ROOT}"
+  RESULT_VARIABLE warm_rc
+  ERROR_VARIABLE warm_err)
+if(NOT warm_rc EQUAL 0)
+  message(FATAL_ERROR "warm txlint run failed (${warm_rc}): ${warm_err}")
+endif()
+if(NOT warm_err MATCHES "from symtab cache")
+  message(FATAL_ERROR "warm run did not reuse the symtab cache:\n${warm_err}")
+endif()
+
+file(READ "${WORK_DIR}/cold.json" cold_json)
+file(READ "${WORK_DIR}/warm.json" warm_json)
+if(NOT cold_json STREQUAL warm_json)
+  message(FATAL_ERROR "cold and warm reports differ")
+endif()
+
+message(STATUS "txlint incremental: warm run reused cache, reports identical")

@@ -1,52 +1,32 @@
-// txlint — static enforcement of the BD-HTM transaction-safety and
-// epoch-protocol rules (DESIGN.md §9).
+// txlint v2 — whole-program BD-HTM protocol analyzer (DESIGN.md §9).
 //
-// The paper's protocol (Table 2, §3-§4) forbids certain operations inside
-// hardware transactions: persists (clwb/fence) abort the transaction or,
-// worse, leak uncommitted state to NVM; allocation must happen before
-// tx_begin (preallocation) because allocator metadata writes are not
-// transactional; pRetire/pTrack order durable reclamation and belong
-// strictly after commit (pDelete only on abort paths, also outside);
-// irrevocable operations (syscalls, I/O, lock acquisition, epoch-table
-// mutation) cannot be rolled back by an abort. txlint lexes the tree —
-// no compiler needed — identifies transaction bodies, and reports any of
-// those operations found inside one as a named diagnostic:
+// Driver: expands inputs, runs pass 1 per file (or loads it from the
+// --symtab-cache when the file is unchanged), merges everything into a
+// Program, runs pass-2 context propagation, then reports — human text,
+// JSON (bdhtm-txlint/2), SARIF 2.1.0 with call-path code flows — and
+// optionally gates against a checked-in baseline so CI fails only on
+// NEW findings.
 //
-//   persist-in-tx          clwb/drain/pSet/flush-to-media inside a tx body
-//   alloc-in-tx            new/malloc/pNew inside a tx body
-//   retire-before-commit   pRetire/pTrack/pDelete inside a tx body
-//   irrevocable-in-tx      I/O, locking, begin/endOp inside a tx body
-//   unbalanced-epoch-op    beginOp without endOp/abortOp on some path
-//   fallback-stripe-order  acquire_stripe(i) with a stripe >= i already
-//                          held in the same function (breaks the canonical
-//                          ascending order that makes striped fallbacks
-//                          deadlock free), or a fallback subscription made
-//                          after the transaction already accessed tracked
-//                          state (tx.load/tx.store/acc.* before
-//                          subscribe — the subscription must come first)
+//   txlint [options] <file|dir>...
+//     --json <out.json>          native JSON report
+//     --sarif <out.sarif>        SARIF 2.1.0 report
+//     --baseline <baseline.json> fail only on findings not in baseline
+//     --write-baseline <path>    write current findings as the baseline
+//     --relative-to <dir>        record paths relative to <dir>
+//     --exclude <substr>         skip paths containing <substr> (repeat ok)
+//     --since <rev>              git-changed files re-analyze; rest may
+//                                come from the symbol-table cache
+//     --symtab-cache <path>      read/write the pass-1 cache
+//     --verify-expectations      corpus mode: each file is its own
+//                                program, checked against txlint-expect
+//     --validate-sarif <path>    validate a SARIF file and exit
+//     --exit-zero                report but always exit 0 (artifact gen)
 //
-// Transaction bodies are recognized from the codebase's idioms:
-//   * lambdas passed to htm::elide<...>(...)
-//   * lambdas whose parameter list mentions Txn (htm::run / Engine::run)
-//   * functions/lambdas taking an accessor (Acc, or a param named `acc`)
-//     — the Acc-templated bodies run under both HTM and fallback paths
-//   * qualified detail::tx_begin(..) .. tx_commit/tx_abort regions
-//
-// Suppressions: `// txlint: allow(<rule>[, <rule>...])` on the finding's
-// line or the line above silences it; `allow(*)` silences every rule.
-// Corpus files declare ground truth with `// txlint-expect: <rule>` (or
-// `// txlint-expect: none`); --verify-expectations checks the linter
-// reproduces exactly that multiset per file — zero false negatives.
-//
-// Every rule has a dynamic mirror behind -DBDHTM_CHECKED=ON
-// (src/common/checked.*) that traps the same violation at runtime under
-// the same rule name.
-//
-// Usage:
-//   txlint [--json <out.json>] [--verify-expectations] <file|dir>...
-// Exit: 0 clean (or expectations met), 1 findings/mismatches, 2 usage/IO.
+// Exit codes: 0 clean (or all matched / nothing new vs baseline),
+// 1 findings (or expectation mismatch / new findings), 2 usage or I/O.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -58,859 +38,14 @@
 #include <string_view>
 #include <vector>
 
-#include "obs/json.hpp"
+#include "analyze.hpp"
+#include "cache.hpp"
+#include "json_mini.hpp"
+#include "model.hpp"
+#include "sarif.hpp"
 
+namespace txlint {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Rules
-
-enum class Rule {
-  kPersistInTx,
-  kAllocInTx,
-  kRetireBeforeCommit,
-  kIrrevocableInTx,
-  kUnbalancedEpochOp,
-  kFallbackStripeOrder,
-  kIpcClientNvm,
-  kNoObsInTx,
-  kNumRules,
-};
-
-constexpr int kNumRules = static_cast<int>(Rule::kNumRules);
-
-const char* rule_name(Rule r) {
-  switch (r) {
-    case Rule::kPersistInTx:
-      return "persist-in-tx";
-    case Rule::kAllocInTx:
-      return "alloc-in-tx";
-    case Rule::kRetireBeforeCommit:
-      return "retire-before-commit";
-    case Rule::kIrrevocableInTx:
-      return "irrevocable-in-tx";
-    case Rule::kUnbalancedEpochOp:
-      return "unbalanced-epoch-op";
-    case Rule::kFallbackStripeOrder:
-      return "fallback-stripe-order";
-    case Rule::kIpcClientNvm:
-      return "ipc-client-nvm";
-    case Rule::kNoObsInTx:
-      return "no-obs-in-tx";
-    default:
-      return "?";
-  }
-}
-
-bool rule_from_name(std::string_view s, Rule* out) {
-  for (int i = 0; i < kNumRules; ++i) {
-    if (s == rule_name(static_cast<Rule>(i))) {
-      *out = static_cast<Rule>(i);
-      return true;
-    }
-  }
-  return false;
-}
-
-struct Finding {
-  std::string file;
-  int line = 0;
-  Rule rule = Rule::kPersistInTx;
-  std::string message;
-  bool suppressed = false;
-};
-
-// Operations that persist (or order persists) — illegal inside a tx body;
-// the write-back belongs to the epoch advancer after commit (§4).
-const std::set<std::string, std::less<>> kPersistCalls = {
-    "clwb",       "clwb_nontxn",          "drain",
-    "persist",    "flush_range_to_media", "flush_line_run_to_media",
-    "pSet",       "pwb",                  "pfence",
-    "psync",      "clflush",              "clflushopt",
-    "sfence",     "msync",
-};
-
-// Allocation — must be hoisted before tx_begin (Table 2 preallocation).
-const std::set<std::string, std::less<>> kAllocCalls = {
-    "malloc",      "calloc",      "realloc", "aligned_alloc",
-    "posix_memalign", "strdup",   "pNew",    "allocate",
-    "make_unique", "make_shared",
-};
-
-// Durable-reclamation ordering — strictly post-commit (pDelete: abort path).
-const std::set<std::string, std::less<>> kRetireCalls = {
-    "pRetire",
-    "pTrack",
-    "pDelete",
-};
-
-// Irrevocable: syscalls/I-O, blocking locks, epoch-table mutation.
-const std::set<std::string, std::less<>> kIrrevocableCalls = {
-    "printf", "fprintf",  "puts",      "fputs",     "fwrite",
-    "fread",  "fopen",    "fclose",    "fsync",     "open",
-    "close",  "write",    "read",      "system",    "exit",
-    "sleep",  "usleep",   "nanosleep", "sleep_for", "acquire",
-    "lock",   "unlock",   "try_lock",  "beginOp",   "endOp",
-    "abortOp",
-};
-
-// Observability emission (no-obs-in-tx, split from irrevocable-in-tx):
-// the trace rings and histogram records do plain cross-thread-visible
-// stores plus a clock read. Inside a transaction those stores are
-// speculative — an aborted transaction has already emitted the event /
-// skewed the histogram, and under real HTM the clock read itself can
-// abort. Emit before tx_begin or after commit; the envelope already
-// samples per batch. Runtime mirror: BDHTM_CHECKED traps in
-// obs::Histogram::record / trace_instant / trace_complete.
-const std::set<std::string, std::less<>> kObsCalls = {
-    "trace_instant", "trace_complete", "trace_begin", "trace_end",
-    "record",
-};
-
-// Bare identifiers (no call parens required) that are irrevocable.
-const std::set<std::string, std::less<>> kIrrevocableIdents = {
-    "cout",
-    "cerr",
-    "clog",
-};
-
-// Durable-core entry points forbidden anywhere in a file marked
-// `// txlint-scope: ipc-client` (DESIGN.md §12): the shared-memory
-// transport's client side runs in an untrusted remote process that must
-// never touch NVM, the epoch table, or allocator state — the server is
-// the only durability authority. The ipc_client link line enforces the
-// same boundary dynamically; this rule catches it at review time.
-const std::set<std::string, std::less<>> kIpcClientForbidden = {
-    "pNew",   "pRetire", "pDelete", "pTrack",
-    "pSet",   "beginOp", "endOp",   "abortOp",
-};
-
-// ---------------------------------------------------------------------------
-// Lexer
-
-enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
-
-struct Tok {
-  TokKind kind;
-  std::string text;  // punctuation is 1-2 chars ("::", "->", "(", ...)
-  int line;
-};
-
-struct FileLex {
-  std::vector<Tok> toks;
-  // line -> rules allowed on that line (suppression applies to its own
-  // line and the one below, so `// txlint: allow(x)` above a statement
-  // works).
-  std::map<int, std::set<int>> allow;       // set of Rule ints; -1 == all
-  std::vector<std::pair<int, Rule>> expect; // (line, rule) from txlint-expect
-  bool expect_none = false;                 // file carries `expect: none`
-  bool has_expectations = false;
-  // File carries `txlint-scope: ipc-client`: client side of the shm
-  // transport; durable-core calls are flagged (ipc-client-nvm).
-  bool ipc_client_scope = false;
-};
-
-bool ident_char(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-         (c >= '0' && c <= '9') || c == '_';
-}
-
-std::string_view trim(std::string_view s) {
-  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() &&
-         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
-
-// Parse directives out of a comment's text (text excludes the // or /*).
-void parse_comment(std::string_view body, int line, FileLex* fx) {
-  body = trim(body);
-  constexpr std::string_view kAllow = "txlint: allow(";
-  constexpr std::string_view kExpect = "txlint-expect:";
-  constexpr std::string_view kScope = "txlint-scope:";
-  if (auto pos = body.find(kScope); pos != std::string_view::npos) {
-    auto name = trim(body.substr(pos + kScope.size()));
-    if (name == "ipc-client") {
-      fx->ipc_client_scope = true;
-    } else {
-      std::fprintf(stderr,
-                   "txlint: warning: line %d: unknown scope '%.*s' in "
-                   "txlint-scope\n",
-                   line, static_cast<int>(name.size()), name.data());
-    }
-  }
-  if (auto pos = body.find(kAllow); pos != std::string_view::npos) {
-    auto rest = body.substr(pos + kAllow.size());
-    auto close = rest.find(')');
-    if (close != std::string_view::npos) {
-      std::string list(rest.substr(0, close));
-      std::stringstream ss(list);
-      std::string item;
-      while (std::getline(ss, item, ',')) {
-        auto name = trim(item);
-        Rule r;
-        if (name == "*") {
-          fx->allow[line].insert(-1);
-        } else if (rule_from_name(name, &r)) {
-          fx->allow[line].insert(static_cast<int>(r));
-        } else {
-          std::fprintf(stderr,
-                       "txlint: warning: line %d: unknown rule '%.*s' in "
-                       "allow()\n",
-                       line, static_cast<int>(name.size()), name.data());
-        }
-      }
-    }
-  }
-  if (auto pos = body.find(kExpect); pos != std::string_view::npos) {
-    auto name = trim(body.substr(pos + kExpect.size()));
-    fx->has_expectations = true;
-    Rule r;
-    if (name == "none") {
-      fx->expect_none = true;
-    } else if (rule_from_name(name, &r)) {
-      fx->expect.emplace_back(line, r);
-    } else {
-      std::fprintf(stderr,
-                   "txlint: warning: line %d: unknown rule '%.*s' in "
-                   "txlint-expect\n",
-                   line, static_cast<int>(name.size()), name.data());
-    }
-  }
-}
-
-FileLex lex(const std::string& src) {
-  FileLex fx;
-  const size_t n = src.size();
-  size_t i = 0;
-  int line = 1;
-  bool at_line_start = true;  // only whitespace so far on this line
-
-  auto peek = [&](size_t off) -> char {
-    return i + off < n ? src[i + off] : '\0';
-  };
-
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      at_line_start = true;
-      continue;
-    }
-    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
-      ++i;
-      continue;
-    }
-    // Preprocessor line (possibly continued with backslash-newline).
-    if (c == '#' && at_line_start) {
-      while (i < n && src[i] != '\n') {
-        if (src[i] == '\\' && peek(1) == '\n') {
-          ++line;
-          i += 2;
-          continue;
-        }
-        ++i;
-      }
-      continue;
-    }
-    at_line_start = false;
-    // Comments.
-    if (c == '/' && peek(1) == '/') {
-      size_t start = i + 2;
-      while (i < n && src[i] != '\n') ++i;
-      parse_comment(std::string_view(src).substr(start, i - start), line, &fx);
-      continue;
-    }
-    if (c == '/' && peek(1) == '*') {
-      size_t start = i + 2;
-      int start_line = line;
-      i += 2;
-      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
-        if (src[i] == '\n') ++line;
-        ++i;
-      }
-      parse_comment(std::string_view(src).substr(start, i - start), start_line,
-                    &fx);
-      i = std::min(n, i + 2);
-      continue;
-    }
-    // Raw strings: R"delim( ... )delim"
-    if (c == 'R' && peek(1) == '"' &&
-        (fx.toks.empty() || fx.toks.back().text != "include")) {
-      size_t j = i + 2;
-      std::string delim;
-      while (j < n && src[j] != '(' && delim.size() < 16) delim += src[j++];
-      if (j < n && src[j] == '(') {
-        std::string close = ")" + delim + "\"";
-        size_t end = src.find(close, j + 1);
-        for (size_t k = i; k < std::min(n, end == std::string::npos
-                                               ? n
-                                               : end + close.size());
-             ++k) {
-          if (src[k] == '\n') ++line;
-        }
-        i = end == std::string::npos ? n : end + close.size();
-        fx.toks.push_back({TokKind::kString, "\"\"", line});
-        continue;
-      }
-    }
-    // Strings and char literals.
-    if (c == '"' || c == '\'') {
-      const char q = c;
-      size_t j = i + 1;
-      while (j < n && src[j] != q) {
-        if (src[j] == '\\' && j + 1 < n) ++j;
-        if (src[j] == '\n') ++line;  // unterminated; keep line count sane
-        ++j;
-      }
-      fx.toks.push_back(
-          {q == '"' ? TokKind::kString : TokKind::kChar, "\"\"", line});
-      i = std::min(n, j + 1);
-      continue;
-    }
-    // Identifiers / keywords.
-    if (ident_char(c) && !(c >= '0' && c <= '9')) {
-      size_t j = i;
-      while (j < n && ident_char(src[j])) ++j;
-      fx.toks.push_back({TokKind::kIdent, src.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    // Numbers (incl. hex, suffixes; pragmatic — consume ident chars and '.').
-    if (c >= '0' && c <= '9') {
-      size_t j = i;
-      while (j < n && (ident_char(src[j]) || src[j] == '.' ||
-                       ((src[j] == '+' || src[j] == '-') && j > i &&
-                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
-                         src[j - 1] == 'p' || src[j - 1] == 'P')))) {
-        ++j;
-      }
-      fx.toks.push_back({TokKind::kNumber, src.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    // Two-char punctuation we care about; everything else single char.
-    static const char* kTwo[] = {"::", "->", "&&", "||", "<<", ">>",
-                                 "==", "!=", "<=", ">=", "+=", "-="};
-    std::string p(1, c);
-    for (const char* t : kTwo) {
-      if (c == t[0] && peek(1) == t[1]) {
-        p = t;
-        break;
-      }
-    }
-    fx.toks.push_back({TokKind::kPunct, p, line});
-    i += p.size();
-    continue;
-  }
-  return fx;
-}
-
-// ---------------------------------------------------------------------------
-// Analysis
-
-struct Analyzer {
-  std::string path;
-  const FileLex& fx;
-  std::vector<Finding>* out;
-
-  const std::vector<Tok>& toks = fx.toks;
-  std::vector<int> match;  // matching bracket index, -1 if none
-
-  // Blocks on the brace stack.
-  struct Block {
-    bool tx = false;           // lexically inside a transaction body
-    bool fn = false;           // a function/lambda body (own return scope)
-    bool fn_top = false;       // outermost function body: epoch balancing unit
-    bool tx_begin_region = false;  // saw qualified tx_begin, awaiting commit
-    bool tx_accessed = false;  // tracked access seen since this tx began
-    int open_ops = 0;          // beginOp minus endOp/abortOp (fn_top only)
-    int first_begin_line = 0;
-    bool unbalanced_reported = false;
-    std::string name;
-    // Stripe-index literals this function body currently holds via
-    // acquire_stripe(<literal>) — the lexical mirror of the runtime
-    // held-mask check (fn blocks only; non-literal indices are opaque).
-    std::set<long> stripes_held;
-  };
-
-  Analyzer(const std::string& p, const FileLex& f, std::vector<Finding>* o)
-      : path(p), fx(f), out(o) {
-    compute_matches();
-  }
-
-  void compute_matches() {
-    match.assign(toks.size(), -1);
-    std::vector<size_t> stack;
-    for (size_t i = 0; i < toks.size(); ++i) {
-      if (toks[i].kind != TokKind::kPunct) continue;
-      const std::string& t = toks[i].text;
-      if (t == "(" || t == "{" || t == "[") {
-        stack.push_back(i);
-      } else if (t == ")" || t == "}" || t == "]") {
-        // Pop until we find the partner kind; tolerates template `<`-free
-        // imbalance from macros.
-        const char want = t == ")" ? '(' : t == "}" ? '{' : '[';
-        while (!stack.empty() && toks[stack.back()].text[0] != want) {
-          stack.pop_back();
-        }
-        if (!stack.empty()) {
-          match[stack.back()] = static_cast<int>(i);
-          match[i] = static_cast<int>(stack.back());
-          stack.pop_back();
-        }
-      }
-    }
-  }
-
-  bool tok_is(int i, std::string_view s) const {
-    return i >= 0 && i < static_cast<int>(toks.size()) && toks[i].text == s;
-  }
-
-  // Heuristic: if token i (an identifier) heads a call expression, return
-  // the index of the call's `(`; else -1. A call may carry an explicit
-  // template argument list (`pNew<Node>(...)`). Not a call when it looks
-  // like a declaration (type token right before the name) or a function
-  // definition (`{`/const/noexcept/-> after the closing paren).
-  int call_open_paren(int i) const {
-    const int nt = static_cast<int>(toks.size());
-    int p = i - 1;
-    if (tok_is(p, "::")) p -= 2;  // skip one level of qualification
-    if (p >= 0 && (toks[p].kind == TokKind::kIdent || toks[p].text == ">" ||
-                   toks[p].text == "*" || toks[p].text == "&")) {
-      // `uint64_t beginOp(` — a declaration... unless the preceding token
-      // is a keyword that introduces expressions.
-      static const std::set<std::string, std::less<>> kExprKw = {
-          "return", "co_return", "co_await", "throw", "else", "do",
-      };
-      if (toks[p].kind != TokKind::kIdent || !kExprKw.count(toks[p].text)) {
-        return -1;
-      }
-    }
-    int open = i + 1;
-    if (tok_is(open, "<")) {
-      // Explicit template arguments: balanced-skip to the matching `>`
-      // (the lexer folds `>>`, which closes two levels).
-      int depth = 1;
-      int j = open + 1;
-      int guard = 0;
-      while (j < nt && depth > 0 && guard++ < 64) {
-        const std::string& t = toks[j].text;
-        if (t == "<") {
-          ++depth;
-        } else if (t == ">") {
-          --depth;
-        } else if (t == ">>") {
-          depth -= 2;
-        } else if (t == ";" || t == "{" || t == "}") {
-          return -1;  // was a comparison, not template args
-        }
-        ++j;
-      }
-      if (depth > 0) return -1;
-      open = j;
-    }
-    if (open >= nt || toks[open].text != "(" || match[open] < 0) return -1;
-    const int after = match[open] + 1;
-    if (after < nt) {
-      const std::string& a = toks[after].text;
-      if (a == "{" || a == "const" || a == "noexcept" || a == "->" ||
-          a == "override" || a == "final") {
-        return -1;  // function definition, not a call
-      }
-    }
-    return open;
-  }
-
-  bool suppressed(int line, Rule r) const {
-    for (int l : {line, line - 1}) {
-      auto it = fx.allow.find(l);
-      if (it == fx.allow.end()) continue;
-      if (it->second.count(-1) || it->second.count(static_cast<int>(r))) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  void report(int line, Rule r, const std::string& what) {
-    Finding f;
-    f.file = path;
-    f.line = line;
-    f.rule = r;
-    f.message = what;
-    f.suppressed = suppressed(line, r);
-    out->push_back(std::move(f));
-  }
-
-  // Scan a parameter list `(`..`)` for the accessor/transaction markers.
-  bool params_mark_tx(int open) const {
-    if (open < 0 || match[open] < 0) return false;
-    for (int j = open + 1; j < match[open]; ++j) {
-      if (toks[j].kind != TokKind::kIdent) continue;
-      const std::string& t = toks[j].text;
-      if (t == "Txn" || t == "Acc" || t == "acc") return true;
-    }
-    return false;
-  }
-
-  void run() {
-    std::vector<Block> blocks;
-    // Paren stack: true when this argument list belongs to an elide call.
-    std::vector<bool> elide_args;
-    // Lambda bodies resolved by lookahead: brace index -> tx flag.
-    std::map<int, bool> lambda_brace;
-
-    auto in_tx = [&]() {
-      for (const Block& b : blocks) {
-        if (b.tx || b.tx_begin_region) return true;
-      }
-      return false;
-    };
-    // The block that carries the current transaction scope (tx bodies do
-    // not nest in this codebase; the outermost tx block owns the
-    // accessed-before-subscribe state).
-    auto tx_block = [&]() -> Block* {
-      for (Block& b : blocks) {
-        if (b.tx || b.tx_begin_region) return &b;
-      }
-      return nullptr;
-    };
-    auto innermost_fn = [&]() -> Block* {
-      for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) {
-        if (it->fn) return &*it;
-      }
-      return nullptr;
-    };
-    auto fn_top = [&]() -> Block* {
-      for (Block& b : blocks) {
-        if (b.fn_top) return &b;
-      }
-      return nullptr;
-    };
-
-    const int nt = static_cast<int>(toks.size());
-    for (int i = 0; i < nt; ++i) {
-      const Tok& tk = toks[i];
-
-      if (tk.kind == TokKind::kPunct) {
-        if (tk.text == "(") {
-          // elide call head: `elide` or `elide<...>` directly before.
-          bool is_elide = false;
-          int h = i - 1;
-          if (tok_is(h, ">")) {
-            // Walk back over a template argument list `<...>` (flat scan;
-            // elide's explicit args are simple types in this codebase).
-            int depth = 1;
-            int j = h - 1;
-            while (j >= 0 && depth > 0 && h - j < 64) {
-              if (toks[j].text == ">") ++depth;
-              if (toks[j].text == "<") --depth;
-              --j;
-            }
-            if (depth == 0) h = j;
-          }
-          if (h >= 0 && toks[h].kind == TokKind::kIdent &&
-              toks[h].text == "elide") {
-            is_elide = true;
-          }
-          elide_args.push_back(is_elide);
-        } else if (tk.text == ")") {
-          if (!elide_args.empty()) elide_args.pop_back();
-        } else if (tk.text == "[") {
-          // Lambda-introducer position: not subscripting (prev is not a
-          // value-producing token).
-          int p = i - 1;
-          bool subscript =
-              p >= 0 && (toks[p].kind == TokKind::kIdent ||
-                         toks[p].kind == TokKind::kNumber ||
-                         toks[p].text == ")" || toks[p].text == "]");
-          if (p >= 0 && toks[p].kind == TokKind::kIdent) {
-            // `return [..]` / `= [..]` style keywords still introduce.
-            if (toks[p].text == "return") subscript = false;
-          }
-          if (!subscript && match[i] >= 0) {
-            int j = match[i] + 1;  // after capture list
-            bool tx_params = false;
-            if (j < nt && toks[j].text == "(") {
-              tx_params = params_mark_tx(j);
-              if (match[j] >= 0) j = match[j] + 1;
-            }
-            // Skip specifiers / trailing return type up to the body brace.
-            int guard = 0;
-            while (j < nt && toks[j].text != "{" && guard++ < 64) {
-              if (toks[j].text == ";" || toks[j].text == ")") break;
-              ++j;
-            }
-            if (j < nt && toks[j].text == "{") {
-              bool in_elide =
-                  std::find(elide_args.begin(), elide_args.end(), true) !=
-                  elide_args.end();
-              lambda_brace[j] = tx_params || in_elide;
-            }
-          }
-        } else if (tk.text == "{") {
-          Block b;
-          // Inherit transaction scope lexically.
-          for (const Block& e : blocks) {
-            if (e.tx || e.tx_begin_region) b.tx = true;
-          }
-          if (auto it = lambda_brace.find(i); it != lambda_brace.end()) {
-            b.fn = true;
-            b.tx = b.tx || it->second;
-            b.name = "<lambda>";
-            if (!fn_top()) b.fn_top = true;
-          } else {
-            // Function definition? Look back for `) {` (allowing const/
-            // noexcept/override between).
-            int p = i - 1;
-            int guard = 0;
-            while (p >= 0 && toks[p].kind == TokKind::kIdent &&
-                   (toks[p].text == "const" || toks[p].text == "noexcept" ||
-                    toks[p].text == "override" || toks[p].text == "final" ||
-                    toks[p].text == "mutable") &&
-                   guard++ < 8) {
-              --p;
-            }
-            if (p >= 0 && toks[p].text == ")" && match[p] >= 0) {
-              const int open = match[p];
-              int head = open - 1;
-              if (head >= 0 && toks[head].kind == TokKind::kIdent) {
-                static const std::set<std::string, std::less<>> kCtl = {
-                    "if", "while", "for", "switch", "catch"};
-                if (!kCtl.count(toks[head].text)) {
-                  b.fn = true;
-                  b.name = toks[head].text;
-                  if (!fn_top()) b.fn_top = true;
-                  if (params_mark_tx(open)) b.tx = true;
-                }
-              }
-            }
-          }
-          blocks.push_back(b);
-        } else if (tk.text == "}") {
-          if (!blocks.empty()) {
-            Block b = blocks.back();
-            blocks.pop_back();
-            if (b.fn_top && b.open_ops > 0 && !b.unbalanced_reported) {
-              report(b.first_begin_line, Rule::kUnbalancedEpochOp,
-                     "beginOp in '" + b.name +
-                         "' has no matching endOp/abortOp on some path");
-            }
-            // Fold leftover epoch balance into the enclosing balancing
-            // unit only when one exists (nested function bodies don't
-            // occur; lambdas already count toward the fn_top).
-          }
-        }
-        continue;
-      }
-
-      if (tk.kind != TokKind::kIdent) continue;
-
-      // Returning while an epoch operation is open leaks the epoch
-      // reservation — the advancer can never pass this thread's epoch.
-      // Only a `return` in the balancing unit itself counts (a nested
-      // lambda's return does not exit the enclosing operation).
-      if (tk.text == "return") {
-        Block* top = fn_top();
-        if (top && top->open_ops > 0 && innermost_fn() == top) {
-          report(tk.line, Rule::kUnbalancedEpochOp,
-                 "return from '" + top->name +
-                     "' while an epoch operation is open (missing "
-                     "endOp/abortOp on this path)");
-          top->unbalanced_reported = true;
-        }
-        continue;
-      }
-
-      // Bare irrevocable identifiers (std::cout etc.).
-      if (kIrrevocableIdents.count(tk.text) && in_tx()) {
-        report(tk.line, Rule::kIrrevocableInTx,
-               "'" + tk.text + "' stream I/O inside a transaction body");
-        continue;
-      }
-
-      // `new` / `delete` expressions.
-      if ((tk.text == "new" || tk.text == "delete") && in_tx()) {
-        int p = i - 1;
-        // `operator new` declarations and `= delete`d functions are not
-        // allocation expressions (`x = new T` is — only `delete` can
-        // directly follow `=` in a declaration context).
-        const bool op_decl = tok_is(p, "operator") ||
-                             (tk.text == "delete" && tok_is(p, "="));
-        const bool member = p >= 0 && (toks[p].text == "." ||
-                                       toks[p].text == "->" ||
-                                       toks[p].text == "::");
-        if (!op_decl && !member) {
-          report(tk.line, Rule::kAllocInTx,
-                 "'" + tk.text +
-                     "' expression inside a transaction body (preallocate "
-                     "before tx_begin; reclaim after commit)");
-        }
-        continue;
-      }
-
-      const int open = call_open_paren(i);
-      if (open < 0) continue;
-      const std::string& name = tk.text;
-      const bool qualified = tok_is(i - 1, "::");
-
-      // ipc-client-nvm: in a `txlint-scope: ipc-client` file, NO durable
-      // -core call is reachable, transaction body or not — the remote
-      // client process owns no NVM state (DESIGN.md §12).
-      if (fx.ipc_client_scope && kIpcClientForbidden.count(name)) {
-        report(tk.line, Rule::kIpcClientNvm,
-               "'" + name +
-                   "' (durable-core entry point) in ipc-client scope: the "
-                   "shm transport's client side must stay NVM-free");
-        continue;
-      }
-
-      // Fallback protocol (fallback-stripe-order, two obligations):
-      //
-      // 1. A tracked access before the subscription leaves a window where
-      //    a fallback holder slips between the access and the (late)
-      //    subscribe. Tracked accesses are the tx/acc member calls; the
-      //    subscription must be the body's first tracked interaction.
-      if ((tok_is(i - 1, ".") || tok_is(i - 1, "->")) &&
-          (tok_is(i - 2, "tx") || tok_is(i - 2, "acc"))) {
-        if (Block* tb = tx_block()) {
-          if (name == "subscribe") {
-            // `tx.subscribe(...)` does not occur; guard anyway.
-          } else if (name == "load" || name == "store" ||
-                     name == "store_nvm" || name == "read" ||
-                     name == "write") {
-            tb->tx_accessed = true;
-          }
-        }
-      }
-      if (name == "subscribe") {
-        if (Block* tb = tx_block(); tb && tb->tx_accessed) {
-          report(tk.line, Rule::kFallbackStripeOrder,
-                 "'subscribe' after the transaction already made a tracked "
-                 "access (the subscription must cover the footprint before "
-                 "it is touched)");
-        }
-        continue;
-      }
-      // 2. Stripes must be acquired in ascending index order (the
-      //    canonical order — any holder acquiring a lower stripe while
-      //    holding a higher one can deadlock against a canonical peer).
-      //    Mirrors the runtime held-mask check for literal indices.
-      if (name == "acquire_stripe" || name == "release_stripe") {
-        long lit = -1;
-        if (match[open] == open + 2 &&
-            toks[open + 1].kind == TokKind::kNumber) {
-          lit = std::strtol(toks[open + 1].text.c_str(), nullptr, 0);
-        }
-        if (Block* f = innermost_fn(); f && lit >= 0) {
-          if (name == "acquire_stripe") {
-            if (!f->stripes_held.empty() &&
-                *f->stripes_held.rbegin() >= lit) {
-              report(tk.line, Rule::kFallbackStripeOrder,
-                     "'acquire_stripe(" + toks[open + 1].text +
-                         ")' while already holding stripe " +
-                         std::to_string(*f->stripes_held.rbegin()) +
-                         " (stripes must be acquired in ascending order)");
-            }
-            f->stripes_held.insert(lit);
-          } else {
-            f->stripes_held.erase(lit);
-          }
-        }
-        continue;
-      }
-
-      // tx_begin/tx_commit regions (only qualified uses — the emulation's
-      // own definitions in htm/engine are not call sites).
-      if (qualified && name == "tx_begin") {
-        if (auto* f = innermost_fn()) {
-          f->tx_begin_region = true;
-        } else if (!blocks.empty()) {
-          blocks.back().tx_begin_region = true;
-        }
-        continue;
-      }
-      if (name == "tx_commit" || name == "tx_abort") {
-        for (auto& b : blocks) b.tx_begin_region = false;
-        continue;
-      }
-
-      const bool tx = in_tx();
-
-      if (kPersistCalls.count(name)) {
-        if (tx) {
-          report(tk.line, Rule::kPersistInTx,
-                 "'" + name +
-                     "' inside a transaction body (buffered durability "
-                     "defers persists to the epoch advancer)");
-        }
-        continue;
-      }
-      if (kAllocCalls.count(name)) {
-        if (tx) {
-          report(tk.line, Rule::kAllocInTx,
-                 "'" + name +
-                     "' inside a transaction body (preallocate before "
-                     "tx_begin)");
-        }
-        continue;
-      }
-      if (kRetireCalls.count(name)) {
-        if (tx) {
-          report(tk.line, Rule::kRetireBeforeCommit,
-                 "'" + name +
-                     "' inside a transaction body (durable reclamation is "
-                     "ordered strictly after commit)");
-        }
-        continue;
-      }
-      if (name == "beginOp" || name == "endOp" || name == "abortOp") {
-        if (tx) {
-          report(tk.line, Rule::kIrrevocableInTx,
-                 "'" + name +
-                     "' mutates the epoch table inside a transaction body");
-        } else if (auto* f = fn_top()) {
-          if (name == "beginOp") {
-            if (f->open_ops == 0) f->first_begin_line = tk.line;
-            f->open_ops++;
-          } else {
-            f->open_ops--;
-          }
-        }
-        continue;
-      }
-      if (kObsCalls.count(name)) {
-        if (tx) {
-          report(tk.line, Rule::kNoObsInTx,
-                 "'" + name +
-                     "' emits observability data inside a transaction body "
-                     "(speculative stores leak on abort; sample before "
-                     "tx_begin or after commit)");
-        }
-        continue;
-      }
-      if (kIrrevocableCalls.count(name)) {
-        if (tx) {
-          report(tk.line, Rule::kIrrevocableInTx,
-                 "'" + name +
-                     "' is irrevocable inside a transaction body (cannot be "
-                     "rolled back on abort)");
-        }
-        continue;
-      }
-
-    }
-  }
-};
-
-// ---------------------------------------------------------------------------
-// Driver
 
 bool read_file(const std::filesystem::path& p, std::string* out) {
   std::ifstream in(p, std::ios::binary);
@@ -927,40 +62,150 @@ bool scannable(const std::filesystem::path& p) {
          ext == ".h" || ext == ".hh" || ext == ".ipp";
 }
 
-}  // namespace
+void stat_file(const std::filesystem::path& p, std::uint64_t* size,
+               std::uint64_t* mtime_ns) {
+  std::error_code ec;
+  *size = static_cast<std::uint64_t>(std::filesystem::file_size(p, ec));
+  if (ec) *size = 0;
+  auto t = std::filesystem::last_write_time(p, ec);
+  *mtime_ns =
+      ec ? 0
+         : static_cast<std::uint64_t>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   t.time_since_epoch())
+                   .count());
+}
 
-int main(int argc, char** argv) {
+/// Files changed since <rev> per git; returns false when git is
+/// unavailable (caller falls back to stat-only cache validation).
+bool git_changed_since(const std::string& rev,
+                       std::set<std::string>* changed) {
+  const std::string cmd =
+      "git diff --name-only " + rev + " -- 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return false;
+  char buf[4096];
+  std::string acc;
+  while (fgets(buf, sizeof(buf), pipe) != nullptr) acc += buf;
+  const int rc = pclose(pipe);
+  if (rc != 0) return false;
+  std::stringstream ss(acc);
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (!line.empty()) changed->insert(line);
+  }
+  return true;
+}
+
+struct Options {
   std::string json_path;
+  std::string sarif_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string relative_to;
+  std::string since_rev;
+  std::string symtab_cache;
+  std::vector<std::string> excludes;
   bool verify_expectations = false;
+  bool exit_zero = false;
   std::vector<std::filesystem::path> inputs;
+};
 
-  for (int i = 1; i < argc; ++i) {
-    std::string_view a = argv[i];
-    if (a == "--json") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "txlint: --json needs a path\n");
-        return 2;
-      }
-      json_path = argv[++i];
-    } else if (a == "--verify-expectations") {
-      verify_expectations = true;
-    } else if (a == "--help" || a == "-h") {
-      std::fprintf(stderr,
-                   "usage: txlint [--json out.json] [--verify-expectations] "
-                   "<file|dir>...\n");
-      return 0;
-    } else {
-      inputs.emplace_back(a);
+int usage(int code) {
+  std::fprintf(
+      stderr,
+      "usage: txlint [--json out.json] [--sarif out.sarif]\n"
+      "              [--baseline baseline.json] [--write-baseline path]\n"
+      "              [--relative-to dir] [--exclude substr]...\n"
+      "              [--since rev] [--symtab-cache path]\n"
+      "              [--verify-expectations] [--exit-zero] <file|dir>...\n"
+      "       txlint --validate-sarif report.sarif\n");
+  return code;
+}
+
+// Baseline: (relative path, rule) -> count of unsuppressed findings.
+using BaselineMap = std::map<std::pair<std::string, std::string>, int>;
+
+BaselineMap count_findings(const std::vector<Finding>& findings) {
+  BaselineMap m;
+  for (const Finding& f : findings) {
+    if (!f.suppressed) m[{f.file, rule_name(f.rule)}]++;
+  }
+  return m;
+}
+
+bool load_baseline(const std::string& path, BaselineMap* out,
+                   std::string* err) {
+  std::ifstream is(path);
+  if (!is) {
+    *err = "cannot open " + path;
+    return false;
+  }
+  std::stringstream buf;
+  buf << is.rdbuf();
+  std::string perr;
+  json::ValuePtr root = json::parse(buf.str(), &perr);
+  if (root == nullptr || !root->is_object()) {
+    *err = "parse error in " + path + ": " + perr;
+    return false;
+  }
+  const json::Value* schema = root->get("schema");
+  if (schema == nullptr || schema->str() != "bdhtm-txlint-baseline/1") {
+    *err = path + ": wrong or missing schema";
+    return false;
+  }
+  const json::Value* files = root->get("findings");
+  if (files == nullptr || !files->is_object()) {
+    *err = path + ": missing findings object";
+    return false;
+  }
+  for (const auto& [file, rules] : files->obj) {
+    if (!rules->is_object()) continue;
+    for (const auto& [rule, count] : rules->obj) {
+      (*out)[{file, rule}] = static_cast<int>(count->as_int());
     }
   }
-  if (inputs.empty()) {
-    std::fprintf(stderr, "txlint: no inputs (see --help)\n");
-    return 2;
-  }
+  return true;
+}
 
-  // Expand directories.
+bool write_baseline(const std::string& path, const BaselineMap& m) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "{\n  \"schema\": \"bdhtm-txlint-baseline/1\",\n"
+     << "  \"findings\": {\n";
+  // Group by file for readability / small diffs.
+  std::map<std::string, std::vector<std::pair<std::string, int>>> by_file;
+  for (const auto& [key, count] : m) {
+    by_file[key.first].emplace_back(key.second, count);
+  }
+  size_t fi = 0;
+  for (const auto& [file, rules] : by_file) {
+    os << "    \"" << json_escape(file) << "\": {";
+    for (size_t k = 0; k < rules.size(); ++k) {
+      os << (k > 0 ? ", " : "") << "\"" << rules[k].first
+         << "\": " << rules[k].second;
+    }
+    os << "}" << (++fi < by_file.size() ? "," : "") << "\n";
+  }
+  os << "  }\n}\n";
+  return static_cast<bool>(os);
+}
+
+void print_finding(const Finding& f) {
+  std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+               rule_name(f.rule), f.message.c_str());
+  if (f.path.size() > 1) {
+    for (const Frame& fr : f.path) {
+      std::fprintf(stderr, "    %s:%d: %s\n", fr.file.c_str(), fr.line,
+                   fr.what.c_str());
+    }
+  }
+}
+
+int run(const Options& opt) {
+  // Expand inputs to the scan list.
   std::vector<std::filesystem::path> files;
-  for (const auto& in : inputs) {
+  for (const auto& in : opt.inputs) {
     std::error_code ec;
     if (std::filesystem::is_directory(in, ec)) {
       for (auto it = std::filesystem::recursive_directory_iterator(in, ec);
@@ -973,144 +218,330 @@ int main(int argc, char** argv) {
     } else if (std::filesystem::is_regular_file(in, ec)) {
       files.push_back(in);
     } else {
-      std::fprintf(stderr, "txlint: cannot read '%s'\n", in.string().c_str());
+      std::fprintf(stderr, "txlint: cannot read '%s'\n",
+                   in.string().c_str());
       return 2;
     }
   }
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::vector<Finding> findings;
-  int expectation_failures = 0;
-  std::uint64_t suppressed_count = 0;
-
-  for (const auto& f : files) {
-    std::string src;
-    if (!read_file(f, &src)) {
-      std::fprintf(stderr, "txlint: cannot read '%s'\n", f.string().c_str());
-      return 2;
+  auto rel_path = [&](const std::filesystem::path& p) -> std::string {
+    if (opt.relative_to.empty()) return p.string();
+    std::error_code ec;
+    auto r = std::filesystem::relative(p, opt.relative_to, ec);
+    return ec || r.empty() ? p.string() : r.generic_string();
+  };
+  auto excluded = [&](const std::string& rp) {
+    for (const std::string& e : opt.excludes) {
+      if (rp.find(e) != std::string::npos) return true;
     }
-    FileLex fx = lex(src);
-    std::vector<Finding> file_findings;
-    Analyzer an(f.string(), fx, &file_findings);
-    an.run();
+    return false;
+  };
 
-    if (verify_expectations) {
-      // Compare the per-file multiset of *unsuppressed* findings against
-      // the declared expectations. Every corpus snippet must be flagged —
-      // zero false negatives — and nothing extra may fire.
-      std::map<int, int> got, want;  // rule -> count
-      for (const auto& fd : file_findings) {
+  // Incremental state: cached pass-1 models and the git-changed set.
+  std::map<std::string, FileModel> cache;
+  if (!opt.symtab_cache.empty()) {
+    cache = load_symtab_cache(opt.symtab_cache);
+  }
+  std::set<std::string> changed;
+  bool have_changed_set = false;
+  if (!opt.since_rev.empty()) {
+    have_changed_set = git_changed_since(opt.since_rev, &changed);
+    if (!have_changed_set) {
+      std::fprintf(stderr,
+                   "txlint: note: git unavailable for --since %s; using "
+                   "stat-based cache validation only\n",
+                   opt.since_rev.c_str());
+    }
+  }
+
+  Program program;
+  int reused = 0;
+  for (const auto& f : files) {
+    const std::string rp = rel_path(f);
+    if (excluded(rp)) continue;
+    std::uint64_t size = 0;
+    std::uint64_t mtime_ns = 0;
+    stat_file(f, &size, &mtime_ns);
+
+    bool from_cache = false;
+    if (auto it = cache.find(rp); it != cache.end()) {
+      const bool stat_ok =
+          it->second.size == size && it->second.mtime_ns == mtime_ns;
+      const bool git_ok = !have_changed_set || changed.count(rp) == 0;
+      if (stat_ok && git_ok) {
+        program.add(it->second);
+        from_cache = true;
+        ++reused;
+      }
+    }
+    if (!from_cache) {
+      std::string src;
+      if (!read_file(f, &src)) {
+        std::fprintf(stderr, "txlint: cannot read '%s'\n",
+                     f.string().c_str());
+        return 2;
+      }
+      FileModel fm = analyze_file(rp, src);
+      fm.size = size;
+      fm.mtime_ns = mtime_ns;
+      program.add(std::move(fm));
+    }
+  }
+  if (!opt.symtab_cache.empty()) {
+    if (!save_symtab_cache(opt.symtab_cache, program.files())) {
+      std::fprintf(stderr, "txlint: warning: cannot write cache '%s'\n",
+                   opt.symtab_cache.c_str());
+    }
+    if (reused > 0) {
+      std::fprintf(stderr,
+                   "txlint: incremental: %d/%zu file(s) from symtab cache\n",
+                   reused, program.files().size());
+    }
+  }
+
+  // ---- Corpus mode: each file is its own program ----
+  if (opt.verify_expectations) {
+    int failures = 0;
+    for (const FileModel& fm : program.files()) {
+      Program single;
+      single.add(fm);
+      std::vector<Finding> fnds = single.run();
+      std::map<int, int> got, want;
+      for (const Finding& fd : fnds) {
         if (!fd.suppressed) got[static_cast<int>(fd.rule)]++;
       }
-      for (const auto& [line, r] : fx.expect) {
+      for (const auto& [line, r] : fm.expect) {
         (void)line;
         want[static_cast<int>(r)]++;
       }
-      if (!fx.has_expectations) {
+      if (!fm.has_expectations) {
         std::fprintf(stderr,
                      "txlint: %s: corpus file has no txlint-expect "
                      "directive\n",
-                     f.string().c_str());
-        ++expectation_failures;
+                     fm.path.c_str());
+        ++failures;
       } else if (got != want) {
-        ++expectation_failures;
+        ++failures;
         std::fprintf(stderr, "txlint: expectation mismatch in %s:\n",
-                     f.string().c_str());
+                     fm.path.c_str());
         for (int r = 0; r < kNumRules; ++r) {
-          const int g = got.count(r) ? got[r] : 0;
-          const int w = want.count(r) ? want[r] : 0;
+          const int g = got.count(r) ? got.at(r) : 0;
+          const int w = want.count(r) ? want.at(r) : 0;
           if (g != w) {
-            std::fprintf(stderr, "  %-22s expected %d, got %d\n",
+            std::fprintf(stderr, "  %-26s expected %d, got %d\n",
                          rule_name(static_cast<Rule>(r)), w, g);
+          }
+        }
+        for (const Finding& fd : fnds) {
+          if (!fd.suppressed) print_finding(fd);
+        }
+      }
+      // Propagated-path invariant the corpus also locks down: every
+      // finding must carry a non-empty call path.
+      for (const Finding& fd : fnds) {
+        if (fd.path.empty()) {
+          std::fprintf(stderr, "txlint: %s:%d: finding without call path\n",
+                       fd.file.c_str(), fd.line);
+          ++failures;
+        }
+      }
+    }
+    if (failures) {
+      std::fprintf(stderr, "txlint: %d corpus file(s) mismatched\n",
+                   failures);
+      return opt.exit_zero ? 0 : 1;
+    }
+    std::fprintf(stderr, "txlint: all %zu corpus file(s) matched\n",
+                 program.files().size());
+    return 0;
+  }
+
+  // ---- Whole-program mode ----
+  std::vector<Finding> findings = program.run();
+
+  int active = 0;
+  int suppressed = 0;
+  for (const Finding& f : findings) {
+    f.suppressed ? ++suppressed : ++active;
+  }
+
+  BaselineMap current = count_findings(findings);
+
+  if (!opt.write_baseline_path.empty()) {
+    if (!write_baseline(opt.write_baseline_path, current)) {
+      std::fprintf(stderr, "txlint: cannot write baseline '%s'\n",
+                   opt.write_baseline_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "txlint: baseline written to %s (%d finding(s))\n",
+                 opt.write_baseline_path.c_str(), active);
+  }
+
+  bool baseline_mode = false;
+  int new_findings = 0;
+  if (!opt.baseline_path.empty()) {
+    baseline_mode = true;
+    BaselineMap base;
+    std::string err;
+    if (!load_baseline(opt.baseline_path, &base, &err)) {
+      std::fprintf(stderr, "txlint: %s\n", err.c_str());
+      return 2;
+    }
+    // New findings: current count above baseline for any (file, rule).
+    for (const auto& [key, count] : current) {
+      auto it = base.find(key);
+      const int allowed = it == base.end() ? 0 : it->second;
+      if (count > allowed) {
+        new_findings += count - allowed;
+        std::fprintf(stderr,
+                     "txlint: NEW vs baseline: %s [%s] %d (baseline %d)\n",
+                     key.first.c_str(), key.second.c_str(), count, allowed);
+        for (const Finding& f : findings) {
+          if (!f.suppressed && f.file == key.first &&
+              rule_name(f.rule) == key.second) {
+            print_finding(f);
           }
         }
       }
     }
-
-    for (auto& fd : file_findings) {
-      if (fd.suppressed) ++suppressed_count;
-      findings.push_back(std::move(fd));
+    // Stale entries: baseline records findings that no longer fire.
+    for (const auto& [key, count] : base) {
+      auto it = current.find(key);
+      const int now = it == current.end() ? 0 : it->second;
+      if (now < count) {
+        std::fprintf(stderr,
+                     "txlint: stale baseline entry: %s [%s] baseline %d, "
+                     "now %d — refresh with --write-baseline\n",
+                     key.first.c_str(), key.second.c_str(), count, now);
+      }
+    }
+  } else {
+    for (const Finding& f : findings) {
+      if (!f.suppressed) print_finding(f);
     }
   }
 
-  // Print human-readable findings.
-  std::uint64_t active = 0;
-  for (const auto& fd : findings) {
-    if (fd.suppressed) continue;
-    ++active;
-    if (!verify_expectations) {
-      std::fprintf(stderr, "%s:%d: [%s] %s\n", fd.file.c_str(), fd.line,
-                   rule_name(fd.rule), fd.message.c_str());
-    }
+  if (!opt.json_path.empty() &&
+      !write_json_report(opt.json_path, findings,
+                         static_cast<int>(program.files().size()),
+                         suppressed)) {
+    std::fprintf(stderr, "txlint: cannot write '%s'\n",
+                 opt.json_path.c_str());
+    return 2;
+  }
+  if (!opt.sarif_path.empty() && !write_sarif(opt.sarif_path, findings)) {
+    std::fprintf(stderr, "txlint: cannot write '%s'\n",
+                 opt.sarif_path.c_str());
+    return 2;
   }
 
-  // JSON report (schema bdhtm-txlint/1).
-  if (!json_path.empty()) {
-    bdhtm::obs::JsonWriter w;
-    w.begin_object();
-    w.key("schema");
-    w.value("bdhtm-txlint/1");
-    w.key("files_scanned");
-    w.value(static_cast<std::uint64_t>(files.size()));
-    w.key("findings_total");
-    w.value(static_cast<std::uint64_t>(findings.size()));
-    w.key("findings_active");
-    w.value(active);
-    w.key("findings_suppressed");
-    w.value(suppressed_count);
-    w.key("rules");
-    w.begin_array();
-    for (int r = 0; r < kNumRules; ++r) {
-      w.value(rule_name(static_cast<Rule>(r)));
+  if (baseline_mode) {
+    if (new_findings > 0) {
+      std::fprintf(stderr,
+                   "txlint: %d NEW finding(s) vs baseline (%d total, %d "
+                   "suppressed) across %zu file(s)\n",
+                   new_findings, active, suppressed,
+                   program.files().size());
+      return opt.exit_zero ? 0 : 1;
     }
-    w.end_array();
-    w.key("findings");
-    w.begin_array();
-    for (const auto& fd : findings) {
-      w.begin_object();
-      w.key("file");
-      w.value(fd.file);
-      w.key("line");
-      w.value(fd.line);
-      w.key("rule");
-      w.value(rule_name(fd.rule));
-      w.key("message");
-      w.value(fd.message);
-      w.key("suppressed");
-      w.value(fd.suppressed);
-      w.end_object();
-    }
-    w.end_array();
-    w.end_object();
-    std::ofstream out(json_path, std::ios::binary);
-    if (!out) {
-      std::fprintf(stderr, "txlint: cannot write '%s'\n", json_path.c_str());
-      return 2;
-    }
-    out << w.str() << "\n";
-  }
-
-  if (verify_expectations) {
-    if (expectation_failures) {
-      std::fprintf(stderr, "txlint: %d corpus file(s) mismatched\n",
-                   expectation_failures);
-      return 1;
-    }
-    std::fprintf(stderr, "txlint: all %zu corpus file(s) matched\n",
-                 files.size());
+    std::fprintf(stderr,
+                 "txlint: no new findings vs baseline (%d baselined, %d "
+                 "suppressed) across %zu file(s)\n",
+                 active, suppressed, program.files().size());
     return 0;
   }
-  if (active) {
+  if (active > 0) {
     std::fprintf(stderr,
-                 "txlint: %llu finding(s) (%llu suppressed) across %zu "
+                 "txlint: %d finding(s) (%d suppressed) across %zu "
                  "file(s)\n",
-                 static_cast<unsigned long long>(active),
-                 static_cast<unsigned long long>(suppressed_count),
-                 files.size());
+                 active, suppressed, program.files().size());
+    return opt.exit_zero ? 0 : 1;
+  }
+  std::fprintf(stderr, "txlint: clean — %zu file(s), %d suppressed\n",
+               program.files().size(), suppressed);
+  return 0;
+}
+
+}  // namespace
+}  // namespace txlint
+
+int main(int argc, char** argv) {
+  using namespace txlint;
+  Options opt;
+  std::string validate_path;
+
+  auto need = [&](int* i) -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "txlint: %s needs an argument\n", argv[*i]);
+      return nullptr;
+    }
+    return argv[++*i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a = argv[i];
+    const char* v = nullptr;
+    if (a == "--json") {
+      if ((v = need(&i)) == nullptr) return 2;
+      opt.json_path = v;
+    } else if (a == "--sarif") {
+      if ((v = need(&i)) == nullptr) return 2;
+      opt.sarif_path = v;
+    } else if (a == "--baseline") {
+      if ((v = need(&i)) == nullptr) return 2;
+      opt.baseline_path = v;
+    } else if (a == "--write-baseline") {
+      if ((v = need(&i)) == nullptr) return 2;
+      opt.write_baseline_path = v;
+    } else if (a == "--relative-to") {
+      if ((v = need(&i)) == nullptr) return 2;
+      opt.relative_to = v;
+    } else if (a == "--exclude") {
+      if ((v = need(&i)) == nullptr) return 2;
+      opt.excludes.emplace_back(v);
+    } else if (a == "--since") {
+      if ((v = need(&i)) == nullptr) return 2;
+      opt.since_rev = v;
+    } else if (a == "--symtab-cache") {
+      if ((v = need(&i)) == nullptr) return 2;
+      opt.symtab_cache = v;
+    } else if (a == "--validate-sarif") {
+      if ((v = need(&i)) == nullptr) return 2;
+      validate_path = v;
+    } else if (a == "--verify-expectations") {
+      opt.verify_expectations = true;
+    } else if (a == "--exit-zero") {
+      opt.exit_zero = true;
+    } else if (a == "--help" || a == "-h") {
+      return usage(0);
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "txlint: unknown option '%s'\n", argv[i]);
+      return usage(2);
+    } else {
+      opt.inputs.emplace_back(a);
+    }
+  }
+
+  if (!validate_path.empty()) {
+    std::vector<std::string> problems = validate_sarif_file(validate_path);
+    if (problems.empty()) {
+      std::fprintf(stderr, "txlint: %s is structurally valid SARIF 2.1.0\n",
+                   validate_path.c_str());
+      return 0;
+    }
+    for (const std::string& p : problems) {
+      std::fprintf(stderr, "txlint: sarif: %s\n", p.c_str());
+    }
+    std::fprintf(stderr, "txlint: %zu SARIF validation problem(s) in %s\n",
+                 problems.size(), validate_path.c_str());
     return 1;
   }
-  std::fprintf(stderr, "txlint: clean — %zu file(s), %llu suppressed\n",
-               files.size(),
-               static_cast<unsigned long long>(suppressed_count));
-  return 0;
+
+  if (opt.inputs.empty()) {
+    std::fprintf(stderr, "txlint: no inputs (see --help)\n");
+    return 2;
+  }
+  return run(opt);
 }
